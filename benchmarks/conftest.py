@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavyweight objects (parsed + compiled case studies) are built once
+per session; each benchmark then times a representative operation with
+pytest-benchmark and regenerates its paper table as a side artifact in
+``benchmarks/results/``.
+"""
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.apps.aerofoil import aerofoil_source
+from repro.apps.sprayer import sprayer_source
+from repro.core import AutoCFD
+
+
+@pytest.fixture(scope="session")
+def aerofoil():
+    """The paper's case study 1 at full size (99 x 41 x 13)."""
+    return AutoCFD.from_source(aerofoil_source())
+
+
+@pytest.fixture(scope="session")
+def sprayer():
+    """The paper's case study 2 at full size (300 x 100)."""
+    return AutoCFD.from_source(sprayer_source())

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the toolchain itself.
+
+These measure the pre-compiler's own cost (the paper's system is a
+compile-time tool, so compilation throughput matters) and the executors'
+relative speed (the Python backend must beat the reference interpreter by
+a wide margin for the workloads to be runnable).
+"""
+
+from machine import emit
+from repro.apps.aerofoil import aerofoil_source
+from repro.apps.kernels import jacobi_5pt
+from repro.apps.sprayer import sprayer_source
+from repro.core import AutoCFD
+from repro.fortran.parser import parse_source
+from repro.fortran.printer import print_compilation_unit
+from repro.interp.interpreter import Interpreter
+from repro.interp.pyback import run_compiled
+
+
+def test_bench_parse_aerofoil(benchmark):
+    """Front-end throughput on the largest workload source."""
+    src = aerofoil_source()
+    cu = benchmark(lambda: parse_source(src))
+    lines = len(src.splitlines())
+    emit("micro_parse", [
+        f"parser throughput: {lines} source lines per parse "
+        f"(see benchmark stats)",
+    ])
+    assert len(cu.units) >= 6
+
+
+def test_bench_roundtrip_print(benchmark):
+    cu = parse_source(sprayer_source())
+    text = benchmark(lambda: print_compilation_unit(cu))
+    assert "program sprayer" in text
+
+
+def test_bench_full_compile(benchmark, aerofoil):
+    """The whole pre-compiler pipeline on case study 1."""
+    result = benchmark(lambda: aerofoil.compile(partition=(2, 2, 1)))
+    assert result.plan.syncs
+
+
+def test_bench_pyback_vs_interpreter(benchmark):
+    """The fast backend against the tree-walking reference."""
+    import time
+
+    src = jacobi_5pt(n=24, m=16, iters=25, eps=0.0)
+
+    def run_fast():
+        return run_compiled(parse_source(src))
+
+    benchmark(run_fast)
+
+    t0 = time.perf_counter()
+    interp = Interpreter(parse_source(src))
+    interp.run()
+    t_interp = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_fast()
+    t_fast = time.perf_counter() - t0
+    emit("micro_executors", [
+        "executor comparison (jacobi 24x16, 25 frames):",
+        f"reference interpreter: {t_interp * 1e3:8.1f} ms",
+        f"python backend:        {t_fast * 1e3:8.1f} ms",
+        f"speedup:               {t_interp / t_fast:8.1f}x",
+    ])
+    assert t_fast < t_interp
+
+
+def test_bench_runtime_halo_exchange(benchmark):
+    """Wall-clock cost of one parallel run on the threaded runtime."""
+    acfd = AutoCFD.from_source(jacobi_5pt(n=24, m=16, iters=10, eps=0.0))
+    compiled = acfd.compile(partition=(2, 1))
+
+    result = benchmark.pedantic(compiled.run_parallel, rounds=3,
+                                iterations=1)
+    assert result.trace.count("exchange") > 0
+
+
+def test_bench_simulator(benchmark, sprayer):
+    """Discrete-event simulation throughput (frames/second)."""
+    from machine import simulate
+
+    plan = sprayer.compile(partition=(2, 2)).plan
+    result = benchmark(lambda: simulate(plan, 500))
+    assert result.frames == 500

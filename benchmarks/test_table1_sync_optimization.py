@@ -1,0 +1,66 @@
+"""Table 1: improvement by synchronization optimizations.
+
+Paper values (synchronizations before / after / % optimized):
+
+    aerofoil  4x1x1  73 ->  8  (89.0%)     sprayer  4x1  72 -> 7 (90.3%)
+              1x4x1  84 -> 10  (88.1%)             1x4  69 -> 7 (89.9%)
+              1x1x4  81 ->  9  (88.9%)             4x4 141 -> 7 (95.0%)
+              4x4x1 148 -> 13  (91.2%)
+              4x1x4 145 -> 13  (91.0%)
+              1x4x4 156 -> 14  (91.0%)
+
+The benchmark times one full compilation (partition -> S_LDP -> regions ->
+combining -> restructuring) and regenerates the whole table.
+"""
+
+from machine import emit
+
+AEROFOIL_PARTS = [(4, 1, 1), (1, 4, 1), (1, 1, 4),
+                  (4, 4, 1), (4, 1, 4), (1, 4, 4)]
+SPRAYER_PARTS = [(4, 1), (1, 4), (4, 4)]
+
+PAPER = {
+    ("aerofoil", (4, 1, 1)): (73, 8), ("aerofoil", (1, 4, 1)): (84, 10),
+    ("aerofoil", (1, 1, 4)): (81, 9), ("aerofoil", (4, 4, 1)): (148, 13),
+    ("aerofoil", (4, 1, 4)): (145, 13), ("aerofoil", (1, 4, 4)): (156, 14),
+    ("sprayer", (4, 1)): (72, 7), ("sprayer", (1, 4)): (69, 7),
+    ("sprayer", (4, 4)): (141, 7),
+}
+
+
+def test_table1(benchmark, aerofoil, sprayer):
+    benchmark.pedantic(lambda: aerofoil.compile(partition=(4, 1, 1)),
+                       rounds=3, iterations=1)
+
+    lines = [
+        "Table 1: improvement by synchronization optimizations",
+        f"{'program':<12s} {'partition':>9s} {'before':>7s} {'after':>6s} "
+        f"{'%opt':>6s} {'paper':>12s}",
+    ]
+    rows = []
+    for name, acfd, parts in (("aerofoil", aerofoil, AEROFOIL_PARTS),
+                              ("sprayer", sprayer, SPRAYER_PARTS)):
+        for part in parts:
+            res = acfd.compile(partition=part)
+            before, after = res.plan.syncs_before, res.plan.syncs_after
+            pb, pa = PAPER[(name, part)]
+            percent = 100.0 * (before - after) / before
+            part_text = "x".join(map(str, part))
+            lines.append(f"{name:<12s} {part_text:>9s} {before:>7d} "
+                         f"{after:>6d} {percent:>5.1f}% "
+                         f"{pb:>5d} -> {pa:<4d}")
+            rows.append((name, part, before, after, percent, pb, pa))
+    emit("table1", lines)
+
+    # shape assertions against the paper
+    for name, part, before, after, percent, pb, pa in rows:
+        assert percent > 70.0, f"{name} {part}: weak optimization"
+        # within 2x of the paper's counts
+        assert pb / 2 <= before <= pb * 2, (name, part, before, pb)
+    by = {(name, part): before for name, part, before, *_ in rows}
+    # directional asymmetry present for the aerofoil, as in the paper
+    assert len({by[("aerofoil", p)] for p in AEROFOIL_PARTS[:3]}) >= 2
+    # sprayer's 2-D cut is close to the sum of the 1-D cuts (the paper's
+    # 72 + 69 ~ 141 relation)
+    s = by[("sprayer", (4, 1))] + by[("sprayer", (1, 4))]
+    assert abs(by[("sprayer", (4, 4))] - s) <= 0.15 * s

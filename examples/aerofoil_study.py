@@ -1,0 +1,79 @@
+"""Case study 1: the aerofoil simulation (paper §6, Tables 1-2).
+
+Compiles the 3-D aerofoil workload (velocity distribution + boundary-layer
+analysis, dominated by self-dependent Gauss-Seidel sweeps that Auto-CFD
+parallelizes by mirror-image decomposition), then:
+
+1. verifies parallel-vs-sequential bitwise equality on a reduced grid
+   (real execution on the threaded message-passing runtime);
+2. reports synchronization counts per partition (Table 1);
+3. replays the full-size compiled program on the calibrated cluster
+   simulator and prints the Table-2 performance picture.
+
+Run:  python examples/aerofoil_study.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.apps.aerofoil import AEROFOIL_INPUT, aerofoil_source
+from repro.core import AutoCFD
+from repro.simulate import ClusterSim, MachineModel, NetworkModel, NodeModel
+
+MACHINE = MachineModel(NodeModel(flop_time=5e-8))
+NETWORK = NetworkModel(latency=1.0e-3, bandwidth=0.4e6, shared_medium=True)
+
+
+def verify_small() -> None:
+    print("== correctness on a reduced grid (20 x 12 x 6, 3 frames) ==")
+    acfd = AutoCFD.from_source(
+        aerofoil_source(nx=20, ny=12, nz=6, iters=3, stages=2))
+    seq = acfd.run_sequential(input_text=AEROFOIL_INPUT)
+    for part in [(2, 1, 1), (2, 2, 1)]:
+        par = acfd.compile(partition=part).run_parallel(
+            input_text=AEROFOIL_INPUT)
+        same = all(np.array_equal(par.array(a).data, seq.array(a).data)
+                   for a in "uvwpt")
+        pipes = len(par.plan.pipes)
+        print(f"  partition {part}: bitwise match = {same} "
+              f"({pipes} mirror-image pipelined loops)")
+
+
+def table1() -> None:
+    print("\n== Table 1: synchronization optimization (full size) ==")
+    acfd = AutoCFD.from_source(aerofoil_source())
+    for part in [(4, 1, 1), (1, 4, 1), (1, 1, 4), (4, 4, 1)]:
+        res = acfd.compile(partition=part)
+        print(f"  {'x'.join(map(str, part)):>6s}: "
+              f"{res.plan.syncs_before:3d} -> {res.plan.syncs_after:3d} "
+              f"({res.report.reduction_percent:.0f}% optimized)")
+
+
+def table2() -> None:
+    print("\n== Table 2: simulated performance on the Pentium/Ethernet "
+          "model ==")
+    acfd = AutoCFD.from_source(aerofoil_source())
+    frames = 400
+    seq = ClusterSim(acfd.compile(partition=(1, 1, 1)).plan,
+                     MACHINE, NETWORK, chunks=1).run(frames)
+    print(f"  sequential: {seq.total_time:8.1f} s ({frames} frames)")
+    for part in [(2, 1, 1), (4, 1, 1), (3, 2, 1)]:
+        sim = ClusterSim(acfd.compile(partition=part).plan,
+                         MACHINE, NETWORK, chunks=1).run(frames)
+        p = math.prod(part)
+        s = seq.total_time / sim.total_time
+        print(f"  {'x'.join(map(str, part)):>6s}:  {sim.total_time:8.1f} s "
+              f" speedup {s:4.2f}  efficiency {100 * s / p:3.0f}%  "
+              f"(comm {max(sim.comm_time):5.1f} s, "
+              f"pipeline wait {max(sim.pipe_wait):5.1f} s)")
+    print("\n  note the paper's Table-2 anomaly: 4x1x1 is no faster than"
+          "\n  2x1x1 — mirror-image pipelining serializes the boundary-"
+          "\n  layer sweeps while the shared Ethernet carries twice the "
+          "traffic.")
+
+
+if __name__ == "__main__":
+    verify_small()
+    table1()
+    table2()

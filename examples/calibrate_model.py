@@ -1,0 +1,51 @@
+"""Calibrating the cluster model against measured speedups.
+
+The Table 2-5 benchmarks use a hand-calibrated Pentium/Ethernet model;
+this example shows the workflow for fitting the model to *your own*
+cluster: compile the workload for the partitions you measured, feed the
+observed speedups to :func:`repro.simulate.calibrate.calibrate`, and use
+the fitted model to predict untried configurations.
+
+Run:  python examples/calibrate_model.py
+"""
+
+from repro.apps.sprayer import sprayer_source
+from repro.core import AutoCFD
+from repro.simulate import ClusterSim
+from repro.simulate.calibrate import Observation, calibrate
+
+# pretend these came off your cluster's wall clock
+MEASURED = [
+    Observation(partition=(2, 1), speedup=1.43),   # the paper's Table 3
+    Observation(partition=(3, 1), speedup=1.97),
+    Observation(partition=(2, 2), speedup=2.78),
+]
+
+
+def main() -> None:
+    acfd = AutoCFD.from_source(sprayer_source())
+    plans = {obs.partition: acfd.compile(partition=obs.partition).plan
+             for obs in MEASURED}
+    seq_plan = acfd.compile(partition=(1, 1)).plan
+
+    print("fitting the machine/network model to the measured speedups...")
+    result = calibrate(plans, seq_plan, MEASURED, frames=40)
+    print(result.summary())
+
+    print("\npredicting untried partitions with the fitted model:")
+    frames = 200
+    t_seq = ClusterSim(seq_plan, result.machine, result.network,
+                       result.chunks).run(frames).total_time
+    for part in [(4, 1), (1, 4), (4, 2), (6, 1)]:
+        plan = acfd.compile(partition=part).plan
+        sim = ClusterSim(plan, result.machine, result.network,
+                         result.chunks).run(frames)
+        import math
+        p = math.prod(part)
+        s = t_seq / sim.total_time
+        print(f"  {'x'.join(map(str, part)):>4s}: predicted speedup "
+              f"{s:4.2f} (efficiency {100 * s / p:3.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: parallelize a sequential Fortran CFD kernel in ~20 lines.
+
+Takes a five-point Jacobi relaxation (annotated with the two required
+``$acfd`` directives), compiles it for a 2x2 processor mesh, prints the
+generated SPMD program, runs both versions, and checks they agree bitwise.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import AutoCFD
+
+SRC = """\
+!$acfd status v
+!$acfd grid 60 40
+!$acfd frame iter
+program jacobi
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = 60, m = 40)
+  real v(n, m), vnew(n, m), err, eps
+  eps = 1.0e-4
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = 0.0
+    end do
+  end do
+  do j = 1, m
+    v(1, j) = 1.0
+    v(n, j) = 4.0
+  end do
+  do iter = 1, 500
+    err = 0.0
+    do i = 2, n - 1
+      do j = 2, m - 1
+        vnew(i, j) = 0.25 * (v(i-1, j) + v(i+1, j) + v(i, j-1) + v(i, j+1))
+        err = amax1(err, abs(vnew(i, j) - v(i, j)))
+      end do
+    end do
+    do i = 2, n - 1
+      do j = 2, m - 1
+        v(i, j) = vnew(i, j)
+      end do
+    end do
+    if (err .lt. eps) exit
+  end do
+  write (6, *) 'converged after', iter, 'frames, residual', err
+end program jacobi
+"""
+
+
+def main() -> None:
+    # 1. build the pre-compiler from annotated sequential Fortran
+    acfd = AutoCFD.from_source(SRC)
+    print(f"flow field: {acfd.grid.shape}, status arrays: "
+          f"{acfd.directives.status_arrays}")
+
+    # 2. compile for a 2x2 processor mesh
+    result = acfd.compile(partition=(2, 2))
+    print(f"\nsynchronizations: {result.plan.syncs_before} before "
+          f"optimization -> {result.plan.syncs_after} after "
+          f"({result.report.reduction_percent:.0f}% optimized)")
+
+    # 3. inspect the generated SPMD program
+    print("\n--- generated parallel program (excerpt) ---")
+    for line in result.parallel_source().splitlines():
+        if "acfd_" in line or line.startswith(("program", "end program")):
+            print(line)
+
+    # 4. run sequentially and in parallel (4 ranks on the in-process
+    #    message-passing runtime), and compare bitwise
+    seq = acfd.run_sequential()
+    par = result.run_parallel()
+    print("\nsequential:", seq.io.output())
+    print("parallel:  ", par.output())
+    same = np.array_equal(seq.array("v").data, par.array("v").data)
+    print(f"\nstatus array 'v' bitwise identical: {same}")
+    assert same
+
+
+if __name__ == "__main__":
+    main()

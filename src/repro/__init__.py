@@ -1,0 +1,20 @@
+"""Auto-CFD reproduction: parallelizing Fortran CFD programs for clusters.
+
+Reproduces *"Auto-CFD: Efficiently Parallelizing CFD Applications on
+Clusters"* (Xiao, Zhang, Kuang, Feng, Kang — IEEE CLUSTER 2003): a
+pre-compiler that turns annotated sequential Fortran CFD programs into
+SPMD message-passing parallel programs, with mirror-image decomposition
+for self-dependent loops and combining of non-redundant synchronizations.
+
+Public entry point::
+
+    from repro import AutoCFD
+    result = AutoCFD.from_file("flow.f90").compile(partition=(2, 2))
+"""
+
+from repro.core import AutoCFD, CompileResult
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["AutoCFD", "CompileResult", "ReproError", "__version__"]

@@ -1,0 +1,79 @@
+"""Call graph utilities for interprocedural synchronization analysis (§5.3).
+
+The pre-compiler, "when a subroutine call is met in the process of locating
+the synchronization region, checks if there is an R-type loop in the
+subroutine" — this module answers that question transitively, and detects
+recursion (which CFD programs never have and the inliner rejects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.field_loops import LoopRole, UnitClassification
+from repro.fortran import ast as A
+
+
+@dataclass
+class CallGraph:
+    """Static call graph over a compilation unit."""
+
+    #: caller -> set of callees (only calls to units present in the file)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    units: dict[str, A.ProgramUnit] = field(default_factory=dict)
+
+    def callees(self, name: str) -> set[str]:
+        return self.edges.get(name, set())
+
+    def transitive_callees(self, name: str) -> set[str]:
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def has_recursion(self) -> bool:
+        for name in self.edges:
+            if name in self.transitive_callees(name):
+                return True
+        return False
+
+    def call_sites(self, caller: str) -> list[A.CallStmt]:
+        unit = self.units[caller]
+        return [s for s in A.walk_statements(unit.body)
+                if isinstance(s, A.CallStmt) and s.name in self.units]
+
+
+def build_call_graph(cu: A.CompilationUnit) -> CallGraph:
+    """Build the call graph of all program units in a file."""
+    graph = CallGraph(units={u.name: u for u in cu.units})
+    for unit in cu.units:
+        callees = {s.name for s in A.walk_statements(unit.body)
+                   if isinstance(s, A.CallStmt) and s.name in graph.units}
+        graph.edges[unit.name] = callees
+    return graph
+
+
+def unit_has_rtype_loop(classification: UnitClassification,
+                        graph: CallGraph,
+                        classifications: dict[str, UnitClassification],
+                        array: str | None = None) -> bool:
+    """§5.3 test: does the unit (or anything it calls) contain an R-type
+    loop — optionally restricted to loops reading *array*?"""
+    names = {classification.unit.name} | graph.transitive_callees(
+        classification.unit.name)
+    for name in names:
+        cls = classifications.get(name)
+        if cls is None:
+            continue
+        for fl in cls.field_loops:
+            if array is None:
+                if fl.referenced_arrays:
+                    return True
+            elif fl.role(array) in (LoopRole.R, LoopRole.C):
+                return True
+    return False

@@ -1,0 +1,195 @@
+"""Dependency test: building the S_LDP set of dependent field-loop pairs.
+
+Implements §4.2: after partitioning, the pre-compiler scans the whole
+(inlined) program for pairs of an assigning field loop and a referencing
+field loop on the same status array, recording per pair the dependent
+arrays, dependency distances, and directions — exactly the information
+synchronization placement and message generation need.
+
+The five §4.2 cases are covered as follows:
+
+1. *multiple status arrays per loop* — pairs are built per array from the
+   intersection of assigned-array and referenced-array sets;
+2. *partial stencils* — distances are kept per grid dimension and
+   direction, so a loop referencing only ``v(i, j-1)`` synchronizes only
+   the Y⁻ face and only when Y is actually cut;
+3. *boundary code* — fixed-subscript accesses are tracked on the
+   classification side and guarded (not communicated) by the restructurer;
+4. *packed status arrays* — distances live in grid-dimension space via
+   the per-array dimension maps, extended dimensions never communicate;
+5. *distance > 1* — offsets and strided accesses yield per-direction
+   distances ≥ 1 (multigrid-style reach).
+
+A *redundant* pair — one whose data is fully rewritten by an intervening
+unconditional full-sweep writer before the reader runs — is eliminated
+here; that is the "traditional" optimization the paper contrasts with its
+combining scheme, and it runs first, as in Auto-CFD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.field_loops import LoopRole
+from repro.analysis.frame import FrameProgram, InstanceNode
+
+
+@dataclass
+class DependencePair:
+    """One element of S_LDP: writer loop -> reader loop on one array."""
+
+    writer: InstanceNode
+    reader: InstanceNode
+    array: str
+    kind: str  # "forward" (writer textually before reader) or "carried"
+    #: per grid dim: (minus, plus) reference reach of the reader
+    distances: dict[int, tuple[int, int]] = field(default_factory=dict)
+    irregular: bool = False
+    #: writer is reader (self-dependent loop's frame-carried pair)
+    self_pair: bool = False
+    #: the common enclosing loop for carried pairs
+    carrier: InstanceNode | None = None
+
+    def comm_dims(self, partition: tuple[int, ...]) -> set[int]:
+        """Grid dims along which this pair moves data, given a partition."""
+        cut = {g for g, p in enumerate(partition) if p > 1}
+        if self.irregular:
+            return cut
+        out = set()
+        for g in cut:
+            minus, plus = self.distances.get(g, (0, 0))
+            if minus or plus:
+                out.add(g)
+        return out
+
+    def needs_sync(self, partition: tuple[int, ...]) -> bool:
+        """True when the pair requires synchronization for *partition*."""
+        return bool(self.comm_dims(partition))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Pair({self.array}: {self.writer}->{self.reader}, "
+                f"{self.kind}, d={self.distances})")
+
+
+def _reader_distances(reader: InstanceNode, array: str
+                      ) -> tuple[dict[int, tuple[int, int]], bool]:
+    use = reader.field_loop.uses.get(array)  # type: ignore[union-attr]
+    distances: dict[int, tuple[int, int]] = {}
+    irregular = False
+    if use is None:
+        return distances, irregular
+    irregular = use.irregular
+    for g in use.read_offsets:
+        distances[g] = use.max_read_distance(g)
+    return distances, irregular
+
+
+def _full_sweep_writer(frame: FrameProgram, node: InstanceNode,
+                       array: str) -> bool:
+    """True when *node*'s loop unconditionally rewrites the whole interior
+    of *array* (all of its status dims swept, zero-offset writes)."""
+    fl = node.field_loop
+    if fl is None:
+        return False
+    use = fl.uses.get(array)
+    if use is None or not use.writes:
+        return False
+    if use.fixed_dims:
+        return False  # boundary-only writer
+    sym = fl.unit.symbols.get(array)  # type: ignore[union-attr]
+    if sym is None or sym.array is None:
+        return False
+    dim_map = frame.directives.status_dims(array, sym.array.rank)
+    status_dims = {g for g in dim_map if g is not None}
+    if not status_dims:
+        return False
+    for g in status_dims:
+        if use.write_offsets.get(g) != {0}:
+            return False
+    return status_dims <= set(fl.sweeps)
+
+
+def _kills(frame: FrameProgram, writer: InstanceNode, reader: InstanceNode,
+           killer: InstanceNode, array: str) -> bool:
+    """Does *killer* make the (writer → reader) pair redundant?
+
+    The killer must (a) lie strictly between them, (b) rewrite the whole
+    array, and (c) be guaranteed to execute whenever the pair's endpoints
+    do: every conditional arm or loop enclosing the killer must also
+    enclose both endpoints.
+    """
+    if not (writer.close < killer.open and killer.close < reader.open):
+        return False
+    if not _full_sweep_writer(frame, killer, array):
+        return False
+    span_lo, span_hi = writer.open, reader.close
+    for anc in killer.ancestors():
+        if anc.kind in ("arm", "loop", "if"):
+            if not (anc.open <= span_lo and span_hi <= anc.close):
+                return False
+    return True
+
+
+def build_sldp(frame: FrameProgram,
+               eliminate_redundant: bool = True) -> list[DependencePair]:
+    """Build the dependent-pair set S_LDP over the inlined frame program.
+
+    Args:
+        frame: the inlined instance tree.
+        eliminate_redundant: apply the intervening-writer kill rule
+            (disable to measure its effect in ablations).
+    """
+    instances = frame.field_loop_instances
+    pairs: list[DependencePair] = []
+
+    for writer in instances:
+        wfl = writer.field_loop
+        assert wfl is not None
+        for array in wfl.assigned_arrays:
+            for reader in instances:
+                rfl = reader.field_loop
+                assert rfl is not None
+                if rfl.role(array) not in (LoopRole.R, LoopRole.C):
+                    continue
+                use = rfl.uses.get(array)
+                if use is None or not use.reads:
+                    continue
+                distances, irregular = _reader_distances(reader, array)
+                if writer is reader:
+                    # self-dependent loop: the frame-carried pair supplies
+                    # the "old value" halo for the next iteration; without
+                    # an enclosing loop nothing carries it
+                    enclosing = writer.enclosing_loops()
+                    if not enclosing:
+                        continue
+                    pairs.append(DependencePair(
+                        writer, reader, array, "carried",
+                        distances, irregular, self_pair=True,
+                        carrier=enclosing[0]))
+                    continue
+                if writer.close < reader.open:
+                    kind = "forward"
+                    carrier = None
+                else:
+                    carrier = frame.common_enclosing_loop(writer, reader)
+                    if carrier is None:
+                        continue  # data never flows backward without a loop
+                    kind = "carried"
+                pairs.append(DependencePair(writer, reader, array,
+                                            kind, distances, irregular,
+                                            carrier=carrier))
+
+    if eliminate_redundant:
+        kept = []
+        for pair in pairs:
+            if pair.kind == "forward":
+                redundant = any(
+                    _kills(frame, pair.writer, pair.reader, killer,
+                           pair.array)
+                    for killer in instances
+                    if killer is not pair.writer and killer is not pair.reader)
+                if redundant:
+                    continue
+            kept.append(pair)
+        pairs = kept
+    return pairs

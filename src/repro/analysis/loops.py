@@ -1,0 +1,148 @@
+"""Loop-nest structure of a program unit.
+
+Implements the loop relations of paper §5.1 (Definitions 6.1-6.4):
+
+* *inner/outer*: ``L2 ⊂ L1`` when L2's extended body is contained in L1's;
+* *direct inner/outer*: containment with nothing in between;
+* *adjacent*: same direct outer loop (or both outermost);
+* *simple loop*: a loop containing no pair of adjacent loops — i.e. its
+  nest below is a pure chain.
+
+Loops are addressed by *paths*: a path is a tuple of ``(attr, index)``
+steps from the unit body down to the statement, which survives AST
+transformation bookkeeping and lets the restructurer find insertion
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fortran import ast as A
+
+#: A path step: (kind, index).  Kinds: "body" (plain statement list index),
+#: ("arm", arm_index, stmt_index) is flattened to two steps.
+Path = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class LoopInfo:
+    """One DO loop in a unit, with its nest relations."""
+
+    stmt: A.DoLoop
+    unit: A.ProgramUnit
+    path: Path
+    parent: "LoopInfo | None" = None
+    children: list["LoopInfo"] = field(default_factory=list)
+    #: loops at any depth below this one
+    descendants: list["LoopInfo"] = field(default_factory=list)
+
+    @property
+    def var(self) -> str:
+        return self.stmt.var
+
+    @property
+    def depth(self) -> int:
+        d = 0
+        node = self.parent
+        while node is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    # -- paper definitions ------------------------------------------------------
+
+    def contains(self, other: "LoopInfo") -> bool:
+        """Definition 6.1: *other* ⊂ *self*."""
+        node = other.parent
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def is_direct_outer_of(self, other: "LoopInfo") -> bool:
+        """Definition 6.2: self ⊦ other."""
+        return other.parent is self
+
+    def adjacent_to(self, other: "LoopInfo") -> bool:
+        """Definition 6.3: same direct outer loop (or both outermost)."""
+        if other is self:
+            return False
+        return self.parent is other.parent
+
+    @property
+    def is_simple(self) -> bool:
+        """Definition 6.4: no pair of loops inside this one is adjacent."""
+        inside = self.descendants
+        for i, a in enumerate(inside):
+            for b in inside[i + 1:]:
+                if a.adjacent_to(b):
+                    return False
+        return True
+
+    @property
+    def nest_vars(self) -> list[str]:
+        """Loop variables of this loop and all descendants."""
+        return [self.var] + [d.var for d in self.descendants]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LoopInfo({self.var}@{self.stmt.line})"
+
+
+@dataclass
+class LoopForest:
+    """All loops of one unit, as a forest matching the nest structure."""
+
+    unit: A.ProgramUnit
+    roots: list[LoopInfo] = field(default_factory=list)
+    all_loops: list[LoopInfo] = field(default_factory=list)
+    by_stmt: dict[int, LoopInfo] = field(default_factory=dict)
+
+    def lookup(self, stmt: A.DoLoop) -> LoopInfo:
+        return self.by_stmt[id(stmt)]
+
+    def adjacent_pairs(self) -> list[tuple[LoopInfo, LoopInfo]]:
+        """All ordered adjacent pairs (Definition 6.3)."""
+        out = []
+        groups: dict[int, list[LoopInfo]] = {}
+        for loop in self.all_loops:
+            groups.setdefault(id(loop.parent), []).append(loop)
+        for siblings in groups.values():
+            for i, a in enumerate(siblings):
+                for b in siblings[i + 1:]:
+                    out.append((a, b))
+        return out
+
+
+def build_loop_forest(unit: A.ProgramUnit) -> LoopForest:
+    """Discover the loop-nest forest of a unit body."""
+    forest = LoopForest(unit)
+
+    def visit(stmts: list[A.Stmt], parent: LoopInfo | None,
+              prefix: Path) -> None:
+        for i, stmt in enumerate(stmts):
+            path = prefix + (("body", i),)
+            if isinstance(stmt, A.DoLoop):
+                info = LoopInfo(stmt, unit, path, parent)
+                forest.all_loops.append(info)
+                forest.by_stmt[id(stmt)] = info
+                if parent is None:
+                    forest.roots.append(info)
+                else:
+                    parent.children.append(info)
+                    node = parent
+                    while node is not None:
+                        node.descendants.append(info)
+                        node = node.parent
+                visit(stmt.body, info, path)
+            elif isinstance(stmt, A.DoWhile):
+                visit(stmt.body, parent, path)
+            elif isinstance(stmt, A.IfBlock):
+                for arm_index, (_cond, body) in enumerate(stmt.arms):
+                    visit(body, parent, path + (("arm", arm_index),))
+            elif isinstance(stmt, A.LogicalIf):
+                visit([stmt.stmt], parent, path + (("then", 0),))
+
+    visit(unit.body, None, ())
+    return forest

@@ -1,0 +1,80 @@
+"""Recognition of convergence reductions inside field loops.
+
+CFD frame loops end with a convergence test: the maximum per-point change
+is accumulated inside a field loop (``err = amax1(err, abs(...))``) and
+compared with ε.  After partitioning, each rank accumulates a *local*
+maximum, so the restructurer must insert a global reduction (allreduce)
+after the accumulating loop — one of the communication points the
+pre-compiler plans.
+
+Recognized shapes (``s`` a scalar, ``e`` any expression not using ``s``):
+
+* ``s = amax1(s, e)`` / ``max`` / ``dmax1`` → max-reduction
+* ``s = amin1(s, e)`` / ``min`` / ``dmin1`` → min-reduction
+* ``s = s + e`` (and ``e + s``) → sum-reduction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.field_loops import FieldLoop
+from repro.fortran import ast as A
+
+_MAX_NAMES = {"max", "amax1", "dmax1", "max0"}
+_MIN_NAMES = {"min", "amin1", "dmin1", "min0"}
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One reduction accumulation found in a field loop."""
+
+    var: str
+    op: str  # "max" | "min" | "sum"
+    field_loop_index: int
+
+
+def _uses_var(expr: A.Expr, name: str) -> bool:
+    for node in A.walk(expr):
+        if isinstance(node, A.Var) and node.name == name:
+            return True
+    return False
+
+
+def _match_reduction(stmt: A.Assign) -> tuple[str, str] | None:
+    """Return (var, op) when *stmt* is a reduction accumulation."""
+    if not isinstance(stmt.target, A.Var):
+        return None
+    var = stmt.target.name
+    value = stmt.value
+    if isinstance(value, A.FuncCall) and value.name in (_MAX_NAMES | _MIN_NAMES):
+        op = "max" if value.name in _MAX_NAMES else "min"
+        hits = [a for a in value.args
+                if isinstance(a, A.Var) and a.name == var]
+        others = [a for a in value.args
+                  if not (isinstance(a, A.Var) and a.name == var)]
+        if len(hits) == 1 and all(not _uses_var(o, var) for o in others):
+            return var, op
+        return None
+    if isinstance(value, A.BinOp) and value.op == "+":
+        left_is_var = isinstance(value.left, A.Var) and value.left.name == var
+        right_is_var = (isinstance(value.right, A.Var)
+                        and value.right.name == var)
+        if left_is_var and not _uses_var(value.right, var):
+            return var, "sum"
+        if right_is_var and not _uses_var(value.left, var):
+            return var, "sum"
+    return None
+
+
+def find_reductions(fl: FieldLoop) -> list[Reduction]:
+    """All reduction accumulations inside one field loop's nest."""
+    out: list[Reduction] = []
+    seen: set[tuple[str, str]] = set()
+    for stmt in A.walk_statements(fl.loop.stmt.body):
+        if isinstance(stmt, A.Assign):
+            match = _match_reduction(stmt)
+            if match is not None and match not in seen:
+                seen.add(match)
+                out.append(Reduction(match[0], match[1], fl.index))
+    return out

@@ -1,0 +1,43 @@
+"""CFD workloads in the Fortran subset (the paper's case studies).
+
+The paper parallelized two proprietary Fortran codes: a 3-D aerofoil
+simulation (3,600 lines; velocity distribution + boundary-layer analysis,
+dominated by self-dependent field loops) and a 2-D sprayer flow simulation
+(6,100 lines; Jacobi-style relaxation of air velocity around sprayer
+fans).  Neither is available, so this package generates faithful synthetic
+equivalents with the same loop-structure statistics (dozens of field loops
+with direction-specific stencils across multiple subroutines, boundary
+sections, convergence reductions, and — for the aerofoil — mirror-image
+self-dependent sweeps), plus a gallery of classic stencil kernels.
+
+All generators return Fortran source strings ready for
+:class:`repro.core.AutoCFD`.
+"""
+
+from repro.apps.kernels import (
+    gauss_seidel_2d,
+    heat_3d,
+    jacobi_5pt,
+    jacobi_9pt,
+    line_sweep_x,
+    packed_states_2d,
+    redblack_2d,
+    sor_2d,
+    wide_stencil_2d,
+)
+from repro.apps.aerofoil import aerofoil_source
+from repro.apps.sprayer import sprayer_source
+
+__all__ = [
+    "jacobi_5pt",
+    "jacobi_9pt",
+    "gauss_seidel_2d",
+    "sor_2d",
+    "redblack_2d",
+    "line_sweep_x",
+    "wide_stencil_2d",
+    "packed_states_2d",
+    "heat_3d",
+    "aerofoil_source",
+    "sprayer_source",
+]

@@ -1,0 +1,73 @@
+"""Physical sanity checks for the generated workloads.
+
+The case-study generators emit synthetic physics; these checks make sure
+the synthetic flows behave like flows (bounded fields, residuals that
+shrink, boundary conditions that hold) so that correctness tests compare
+*meaningful* numbers rather than NaN == NaN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.interp.pyback import RunResult
+
+
+@dataclass
+class FieldCheck:
+    """Result of validating one status array."""
+
+    name: str
+    finite: bool
+    max_abs: float
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.finite and not self.issues
+
+
+def check_fields(result: RunResult, arrays: list[str],
+                 bound: float = 1.0e6) -> list[FieldCheck]:
+    """Validate status arrays of a finished run.
+
+    Checks: all values finite; magnitudes below *bound* (diverging
+    relaxations blow up fast, so a loose bound catches instability
+    without constraining physics).
+    """
+    out = []
+    for name in arrays:
+        arr = result.array(name)
+        finite = bool(np.isfinite(arr.data).all())
+        max_abs = float(np.abs(arr.data).max()) if finite else float("inf")
+        check = FieldCheck(name=name, finite=finite, max_abs=max_abs)
+        if not finite:
+            check.issues.append("non-finite values")
+        elif max_abs > bound:
+            check.issues.append(f"magnitude {max_abs:g} exceeds {bound:g}")
+        out.append(check)
+    return out
+
+
+def residual_trend(residuals: list[float]) -> str:
+    """Classify a residual history: 'converging', 'stalled', 'diverging'."""
+    if len(residuals) < 2:
+        return "stalled"
+    first, last = residuals[0], residuals[-1]
+    if not np.isfinite(last) or last > first * 10:
+        return "diverging"
+    if last < first * 0.9:
+        return "converging"
+    return "stalled"
+
+
+def boundary_holds(result: RunResult, array: str, dim: int, index: int,
+                   value: float, atol: float = 1e-12) -> bool:
+    """Does the boundary plane ``array[dim == index]`` hold *value*?"""
+    arr = result.array(array)
+    ranges = list(arr.bounds)
+    ranges[dim] = (index, index)
+    plane = arr.section(ranges)
+    return bool(np.allclose(plane, value, atol=atol))

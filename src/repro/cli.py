@@ -1,0 +1,180 @@
+"""Command-line interface: the pre-compiler as a tool.
+
+Usage (also via ``python -m repro``)::
+
+    acfd compile flow.f90 --partition 2x2          # generated SPMD source
+    acfd compile flow.f90 --processors 4 --mpi     # Fortran + MPI runtime
+    acfd report flow.f90 --partition 4x1 --partition 1x4
+    acfd run flow.f90 --partition 2x2 --input deck.txt
+    acfd simulate flow.f90 --partition 2x2 --frames 1000
+
+``compile`` writes the parallel program, ``report`` prints the Table-1
+style synchronization accounting, ``run`` executes sequential and
+parallel versions and compares the status arrays, ``simulate`` replays
+the compiled program on the cluster performance model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+from repro.core import AutoCFD
+from repro.core.report import CompilationReport
+from repro.errors import ReproError
+from repro.simulate import ClusterSim, MachineModel, NetworkModel
+
+
+def _parse_partition(text: str) -> tuple[int, ...]:
+    try:
+        dims = tuple(int(p) for p in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad partition {text!r}: expected e.g. 2x2 or 4x1x1")
+    if not dims or any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError(f"bad partition {text!r}")
+    return dims
+
+
+def _load(path: str) -> AutoCFD:
+    if path == "-":
+        return AutoCFD.from_source(sys.stdin.read(), filename="<stdin>")
+    return AutoCFD.from_file(path)
+
+
+def _compile_args(acfd: AutoCFD, args) -> list:
+    results = []
+    partitions = args.partition or []
+    if args.processors is not None:
+        results.append(acfd.compile(processors=args.processors))
+    for dims in partitions:
+        results.append(acfd.compile(partition=dims))
+    if not results:
+        results.append(acfd.compile())
+    return results
+
+
+def cmd_compile(args) -> int:
+    acfd = _load(args.source)
+    result = _compile_args(acfd, args)[0]
+    text = result.mpi_source() if args.mpi else result.parallel_source()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} "
+              f"({result.plan.syncs_after} synchronization points, "
+              f"{len(result.plan.pipes)} pipelined loops)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    acfd = _load(args.source)
+    print(CompilationReport.header())
+    for result in _compile_args(acfd, args):
+        print(result.report.row())
+    return 0
+
+
+def cmd_run(args) -> int:
+    acfd = _load(args.source)
+    input_text = None
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            input_text = fh.read()
+    result = _compile_args(acfd, args)[0]
+    seq = acfd.run_sequential(input_text=input_text)
+    par = result.run_parallel(input_text=input_text)
+    print(f"sequential output: {seq.io.output()}")
+    print(f"parallel output:   {par.output()}")
+    ok = True
+    for name in result.plan.arrays:
+        same = np.array_equal(par.array(name).data, seq.array(name).data)
+        print(f"  array {name!r}: {'identical' if same else 'DIFFERS'}")
+        ok = ok and same
+    return 0 if ok else 1
+
+
+def cmd_simulate(args) -> int:
+    acfd = _load(args.source)
+    machine = MachineModel()
+    network = NetworkModel()
+    seq_dims = tuple(1 for _ in acfd.grid.shape)
+    seq_plan = acfd.compile(partition=seq_dims).plan
+    t_seq = ClusterSim(seq_plan, machine, network,
+                       chunks=args.chunks).run(args.frames).total_time
+    print(f"{'partition':>10s} {'time(s)':>10s} {'speedup':>8s} "
+          f"{'efficiency':>10s}")
+    print(f"{'x'.join(map(str, seq_dims)):>10s} {t_seq:>10.2f} "
+          f"{'-':>8s} {'-':>10s}")
+    for result in _compile_args(acfd, args):
+        sim = ClusterSim(result.plan, machine, network, chunks=args.chunks)
+        out = sim.run(args.frames)
+        p = math.prod(result.plan.partition.dims)
+        s = t_seq / out.total_time
+        part = "x".join(map(str, result.plan.partition.dims))
+        print(f"{part:>10s} {out.total_time:>10.2f} {s:>8.2f} "
+              f"{100 * s / p:>9.0f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="acfd",
+        description="Auto-CFD: parallelize sequential Fortran CFD programs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("source", help="Fortran source file ('-' for stdin)")
+        p.add_argument("--partition", "-p", action="append",
+                       type=_parse_partition,
+                       help="processors per grid dimension, e.g. 2x2")
+        p.add_argument("--processors", "-n", type=int,
+                       help="processor count (the partitioner picks the "
+                            "shape)")
+
+    p = sub.add_parser("compile", help="emit the generated SPMD program")
+    common(p)
+    p.add_argument("--mpi", action="store_true",
+                   help="emit Fortran with the generated MPI runtime")
+    p.add_argument("--output", "-o", help="write to a file")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("report", help="synchronization accounting")
+    common(p)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("run", help="run sequential vs parallel and compare")
+    common(p)
+    p.add_argument("--input", "-i", help="list-directed input deck file")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("simulate", help="cluster performance model")
+    common(p)
+    p.add_argument("--frames", type=int, default=200,
+                   help="frame iterations to simulate")
+    p.add_argument("--chunks", type=int, default=1,
+                   help="pipeline chunking for self-dependent loops")
+    p.set_defaults(fn=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"acfd: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"acfd: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""SPMD code generation: restructuring the sequential program.
+
+The restructuring procedure of §3 "consists of inserting communication
+statements, modifying loop indices, redefining the sizes of arrays,
+modifying read file statements, and other related operations" — this
+package implements all of them:
+
+* :mod:`repro.codegen.plan` — the parallelization plan: array ghost
+  geometry, combined synchronization points with AST insertion locations,
+  pipelined self-dependent loops, reductions, I/O transforms;
+* :mod:`repro.codegen.normalize` — pre-pass canonicalizing one-line IFs;
+* :mod:`repro.codegen.restructure` — the AST-to-AST SPMD transformation;
+* :mod:`repro.codegen.rtadapter` — the per-rank runtime object backing
+  the generated ``acfd_*`` calls;
+* :mod:`repro.codegen.runner` — execute the generated program on P ranks
+  and stitch the distributed arrays back into global arrays;
+* :mod:`repro.codegen.mpi_fortran` — print the generated program as
+  Fortran with explicit MPI calls (the paper's actual artifact);
+* :mod:`repro.codegen.schedule` — extract the per-frame phase schedule
+  that drives the cluster simulator.
+"""
+
+from repro.codegen.plan import (
+    ArrayPlan,
+    ParallelPlan,
+    PipeLoopPlan,
+    PlannedSync,
+    build_plan,
+)
+from repro.codegen.normalize import normalize_compilation_unit
+from repro.codegen.restructure import restructure
+from repro.codegen.rtadapter import RankRuntime
+from repro.codegen.runner import ParallelResult, run_parallel
+from repro.codegen.mpi_fortran import print_mpi_fortran
+from repro.codegen.schedule import FrameSchedule, extract_schedule
+
+__all__ = [
+    "ArrayPlan", "ParallelPlan", "PipeLoopPlan", "PlannedSync", "build_plan",
+    "normalize_compilation_unit",
+    "restructure",
+    "RankRuntime",
+    "ParallelResult", "run_parallel",
+    "print_mpi_fortran",
+    "FrameSchedule", "extract_schedule",
+]

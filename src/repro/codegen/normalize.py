@@ -1,0 +1,52 @@
+"""AST canonicalization before analysis and restructuring.
+
+Two rewrites, both semantics-preserving:
+
+* one-line logical IFs become single-arm IF blocks, so every insertion
+  point is a statement-list position;
+* labeled-DO terminators keep their CONTINUE in the body (the parser
+  already builds block structure), so nothing else is needed for loops.
+"""
+
+from __future__ import annotations
+
+from repro.fortran import ast as A
+
+
+def _normalize_body(body: list[A.Stmt]) -> list[A.Stmt]:
+    out: list[A.Stmt] = []
+    for stmt in body:
+        out.append(_normalize_stmt(stmt))
+    return out
+
+
+def _normalize_stmt(stmt: A.Stmt) -> A.Stmt:
+    if isinstance(stmt, A.LogicalIf):
+        inner = _normalize_stmt(stmt.stmt)
+        block = A.IfBlock(arms=[(stmt.cond, [inner])], line=stmt.line,
+                          label=stmt.label)
+        return block
+    if isinstance(stmt, A.DoLoop):
+        stmt.body = _normalize_body(stmt.body)
+        return stmt
+    if isinstance(stmt, A.DoWhile):
+        stmt.body = _normalize_body(stmt.body)
+        return stmt
+    if isinstance(stmt, A.IfBlock):
+        stmt.arms = [(cond, _normalize_body(body))
+                     for cond, body in stmt.arms]
+        return stmt
+    return stmt
+
+
+def normalize_unit(unit: A.ProgramUnit) -> A.ProgramUnit:
+    """Normalize one program unit in place."""
+    unit.body = _normalize_body(unit.body)
+    return unit
+
+
+def normalize_compilation_unit(cu: A.CompilationUnit) -> A.CompilationUnit:
+    """Normalize every unit in place; returns *cu* for chaining."""
+    for unit in cu.units:
+        normalize_unit(unit)
+    return cu

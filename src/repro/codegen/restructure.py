@@ -1,0 +1,470 @@
+"""The SPMD restructuring transformation (paper §3, last paragraph).
+
+Takes the sequential AST plus a :class:`repro.codegen.plan.ParallelPlan`
+and produces the parallel SPMD program:
+
+1. **communication statements** — ``call acfd_exchange(k, arrays...)`` at
+   every combined synchronization point; ``call acfd_pipe_recv/send``
+   around pipelined self-dependent loops; ``x = acfd_allreduce_max(x)``
+   after reduction loops;
+2. **loop indices** — field-loop bounds clamped to the rank's owned range
+   (``do i = max0(2, acfd_lo(1)), min0(n-1, acfd_hi(1))``);
+3. **array sizes** — status arrays re-declared over the local owned block
+   plus ghost layers (``v(acfd_lb('v', 1):acfd_ub('v', 1), ...)``), still
+   indexed in global coordinates;
+4. **read statements** — rank 0 reads, then broadcasts
+   (``x = acfd_bcast(x)``); writes execute on rank 0 only;
+5. **boundary code** — constant-subscript writes guarded by ownership
+   tests (``if (acfd_owns(1, 1)) ...``).
+
+All rank-dependent values flow through ``acfd_*`` runtime calls, so one
+transformed program serves every rank (SPMD), exactly like the paper's
+generated PVM/MPI Fortran.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.analysis.field_loops import classify_unit
+from repro.analysis.stencil import SubscriptKind, analyze_subscript
+from repro.codegen.plan import ParallelPlan
+from repro.errors import CodegenError
+from repro.fortran import ast as A
+from repro.fortran.symbols import SymbolTable, resolve_compilation_unit
+
+
+def _call(name: str, *args: A.Expr) -> A.CallStmt:
+    return A.CallStmt(name=name, args=list(args))
+
+
+def _fn(name: str, *args: A.Expr) -> A.FuncCall:
+    return A.FuncCall(name, list(args))
+
+
+def _int(v: int) -> A.IntLit:
+    return A.IntLit(v)
+
+
+@dataclass
+class _InsertOp:
+    unit: str
+    path: tuple
+    mode: str  # before | after | append | prepend | append_body | append_arm
+    stmts: list[A.Stmt]
+    priority: int  # ordering among ops at the same position
+
+
+class Restructurer:
+    """Applies the plan to a deep copy of the sequential program."""
+
+    def __init__(self, plan: ParallelPlan) -> None:
+        self.plan = plan
+        self.cu = copy.deepcopy(plan.cu)
+        resolve_compilation_unit(self.cu)
+        self.directives = plan.directives
+        self.partition = plan.partition
+        self.cut = set(plan.partition.cut_dims)
+        self.ops: list[_InsertOp] = []
+        self._probe_counter = 0
+
+    # -- public -------------------------------------------------------------------
+
+    def run(self) -> A.CompilationUnit:
+        self._plan_sync_insertions()
+        self._plan_pipe_insertions()
+        self._plan_reduction_insertions()
+        self._apply_insertions()
+        for unit in self.cu.units:
+            self._rewrite_declarations(unit)
+            self._transform_unit_body(unit)
+            self._transform_io(unit)
+        # re-resolve: new statements reference acfd_* externals
+        resolve_compilation_unit(self.cu)
+        return self.cu
+
+    # -- insertion collection -----------------------------------------------------
+
+    def _sync_call(self, sync_id: int) -> A.CallStmt:
+        sync = self.plan.syncs[sync_id - 1]
+        args: list[A.Expr] = [_int(sync_id)]
+        args.extend(A.Var(name) for name, _d in sync.arrays)
+        return _call("acfd_exchange", *args)
+
+    def _plan_sync_insertions(self) -> None:
+        for sync in self.plan.syncs:
+            unit, path, mode = sync.insertion
+            self.ops.append(_InsertOp(unit, path, mode,
+                                      [self._sync_call(sync.sync_id)],
+                                      priority=2))
+
+    def _plan_pipe_insertions(self) -> None:
+        for pipe in self.plan.pipes:
+            args: list[A.Expr] = [_int(pipe.pipe_id)]
+            args.extend(A.Var(name) for name in pipe.arrays)
+            self.ops.append(_InsertOp(pipe.unit, pipe.path, "before",
+                                      [_call("acfd_pipe_recv", *args)],
+                                      priority=0))
+            self.ops.append(_InsertOp(pipe.unit, pipe.path, "after",
+                                      [_call("acfd_pipe_send", *args)],
+                                      priority=0))
+
+    def _plan_reduction_insertions(self) -> None:
+        for plan in self.plan.reductions:
+            stmts: list[A.Stmt] = []
+            for red in plan.reductions:
+                stmts.append(A.Assign(
+                    target=A.Var(red.var),
+                    value=_fn(f"acfd_allreduce_{red.op}", A.Var(red.var))))
+            self.ops.append(_InsertOp(plan.unit, plan.path, "after",
+                                      stmts, priority=1))
+
+    # -- insertion application -----------------------------------------------------
+
+    def _resolve_list(self, unit: A.ProgramUnit,
+                      path: tuple) -> tuple[list[A.Stmt], int]:
+        """The statement list owning the final path step, plus the index."""
+        steps = list(path)
+        cur_list: list[A.Stmt] = unit.body
+        stmt: A.Stmt | None = None
+        for kind, idx in steps[:-1]:
+            if kind == "body":
+                stmt = cur_list[idx]
+                if isinstance(stmt, (A.DoLoop, A.DoWhile)):
+                    cur_list = stmt.body
+            elif kind == "arm":
+                assert isinstance(stmt, A.IfBlock)
+                cur_list = stmt.arms[idx][1]
+            else:
+                raise CodegenError(f"unknown path step {kind!r}")
+        if not steps:
+            return cur_list, 0
+        kind, idx = steps[-1]
+        if kind != "body":
+            raise CodegenError(f"path must end in a body step, got {kind!r}")
+        return cur_list, idx
+
+    def _apply_insertions(self) -> None:
+        # Insertions are applied in reverse document order: an insertion
+        # never shifts the paths of positions before it, so every later
+        # op's path stays valid.  At one position, priorities order the
+        # inserted statements: lower priority hugs the target statement
+        # (pipe_recv/send sit immediately around their loop, exchanges
+        # and reductions outside them).
+        _BIG = 1 << 30
+
+        def position(op: _InsertOp) -> tuple:
+            flat: list[int] = [idx for _kind, idx in op.path]
+            if op.mode == "before":
+                pass  # exactly at the final index
+            elif op.mode == "after":
+                flat.append(_BIG)
+            elif op.mode in ("append_body", "append_arm"):
+                flat.append(_BIG - 1)  # inside the statement, at its end
+            elif op.mode == "append":
+                flat = [_BIG]
+            elif op.mode == "prepend":
+                flat = [-1]
+            return tuple(flat)
+
+        def sort_key(op: _InsertOp):
+            # reverse=True: larger position first; for ties, "before" ops
+            # want ascending priority applied first (so use -priority),
+            # "after"-style ops want descending (use +priority).
+            tie = op.priority if op.mode != "before" else -op.priority
+            return (op.unit, position(op), tie)
+
+        for op in sorted(self.ops, key=sort_key, reverse=True):
+            self._apply_one(op)
+
+    def _locate(self, op: _InsertOp) -> tuple[list[A.Stmt], int]:
+        unit = self.cu.unit(op.unit)
+        if op.mode in ("append", "prepend"):
+            return unit.body, 0 if op.mode == "prepend" else len(unit.body)
+        if op.mode in ("append_body", "append_arm"):
+            if op.mode == "append_arm":
+                body_path, arm = op.path[:-1], op.path[-1][1]
+                stmts, idx = self._resolve_list(unit, body_path)
+                target = stmts[idx]
+                assert isinstance(target, A.IfBlock)
+                return target.arms[arm][1], len(target.arms[arm][1])
+            stmts, idx = self._resolve_list(unit, op.path)
+            target = stmts[idx]
+            assert isinstance(target, (A.DoLoop, A.DoWhile))
+            return target.body, len(target.body)
+        return self._resolve_list(unit, op.path)
+
+    def _apply_one(self, op: _InsertOp) -> None:
+        stmts, index = self._locate(op)
+        if op.mode == "after":
+            index += 1
+        elif op.mode in ("append", "append_body", "append_arm"):
+            index = len(stmts)
+        for offset, stmt in enumerate(op.stmts):
+            stmts.insert(index + offset, stmt)
+
+    # -- declarations ------------------------------------------------------------
+
+    def _rewrite_declarations(self, unit: A.ProgramUnit) -> None:
+        def rewrite_entities(entities: list[tuple[str, list[A.Expr]]]) -> None:
+            for pos, (name, dims) in enumerate(entities):
+                ap = self.plan.arrays.get(name)
+                if ap is None or not dims:
+                    continue
+                new_dims: list[A.Expr] = []
+                for adim, dim in enumerate(dims):
+                    g = ap.dim_map[adim] if adim < len(ap.dim_map) else None
+                    if g is None or g not in self.cut:
+                        new_dims.append(dim)
+                        continue
+                    lo = _fn("acfd_lb", A.StringLit(name), _int(adim + 1))
+                    hi = _fn("acfd_ub", A.StringLit(name), _int(adim + 1))
+                    new_dims.append(A.RangeExpr(lo, hi))
+                entities[pos] = (name, new_dims)
+
+        for stmt in unit.decls:
+            if isinstance(stmt, (A.Declaration, A.DimensionStmt,
+                                 A.CommonStmt)):
+                rewrite_entities(stmt.entities)
+
+    # -- loop bounds, ownership guards ----------------------------------------------
+
+    def _transform_unit_body(self, unit: A.ProgramUnit) -> None:
+        classification = classify_unit(unit, self.directives)
+        # loop-variable -> grid-dim map, per field loop nest
+        clamp_map: dict[int, dict[str, int]] = {}
+        for fl in classification.field_loops:
+            var_to_dim = {var: g for g, var in fl.sweeps.items()
+                          if g in self.cut}
+            loop_ids = {id(fl.loop.stmt)}
+            loop_ids.update(id(d.stmt) for d in fl.loop.descendants)
+            for lid in loop_ids:
+                clamp_map[lid] = var_to_dim
+        table: SymbolTable = unit.symbols  # type: ignore[assignment]
+        self._walk_body(unit.body, clamp_map, {}, table, unit.name)
+
+    def _walk_body(self, body: list[A.Stmt], clamp_map: dict,
+                   env: dict[str, int], table: SymbolTable,
+                   unit_name: str) -> None:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, A.DoLoop):
+                var_to_dim = clamp_map.get(id(stmt), {})
+                g = var_to_dim.get(stmt.var)
+                new_env = dict(env)
+                if g is not None:
+                    stmt.start = _fn("max0", stmt.start,
+                                     _fn("acfd_lo", _int(g + 1)))
+                    stmt.stop = _fn("min0", stmt.stop,
+                                    _fn("acfd_hi", _int(g + 1)))
+                    new_env[stmt.var] = g
+                else:
+                    new_env.pop(stmt.var, None)
+                self._walk_body(stmt.body, clamp_map, new_env, table,
+                                unit_name)
+            elif isinstance(stmt, A.DoWhile):
+                self._walk_body(stmt.body, clamp_map, env, table, unit_name)
+            elif isinstance(stmt, A.IfBlock):
+                for _cond, arm_body in stmt.arms:
+                    self._walk_body(arm_body, clamp_map, env, table,
+                                    unit_name)
+            elif isinstance(stmt, A.Assign):
+                guard, guarded_dims = self._ownership_guard(
+                    stmt, env, table, unit_name)
+                self._check_global_reads(stmt.value, env, table, unit_name,
+                                         guarded_dims, stmt.line)
+                if guard is not None:
+                    body[i] = A.IfBlock(arms=[(guard, [stmt])],
+                                        line=stmt.line, label=stmt.label)
+                    stmt.label = None
+
+    def _ownership_guard(self, stmt: A.Assign, env: dict[str, int],
+                         table: SymbolTable, unit_name: str
+                         ) -> tuple[A.Expr | None, dict[int, A.Expr]]:
+        """Guard condition for boundary (constant-subscript) writes.
+
+        Returns (guard expression or None, guarded dims with their
+        guarded subscript expressions).
+        """
+        if not isinstance(stmt.target, A.ArrayRef):
+            return None, {}
+        name = stmt.target.name
+        ap = self.plan.arrays.get(name)
+        if ap is None:
+            return None, {}
+        loop_vars = set(env)
+        invariants = {s.name: int(s.param_value)
+                      for s in table.symbols.values()
+                      if s.is_parameter and isinstance(s.param_value, int)}
+        conds: list[A.Expr] = []
+        guarded_dims: dict[int, A.Expr] = {}
+        for adim, sub in enumerate(stmt.target.subs):
+            g = ap.dim_map[adim]
+            if g is None or g not in self.cut:
+                continue
+            info = analyze_subscript(sub, loop_vars, invariants)
+            if info.kind is SubscriptKind.INDUCTION and info.var in env \
+                    and env[info.var] == g:
+                continue  # covered by the clamped loop bounds
+            if info.kind is SubscriptKind.CONSTANT:
+                conds.append(_fn("acfd_owns", _int(g + 1), sub))
+                guarded_dims[g] = sub
+                continue
+            raise CodegenError(
+                f"unsupported subscript on cut dimension {g} of status "
+                f"array {name!r} in unit {unit_name!r} "
+                f"(line {stmt.line}): only induction and constant "
+                f"subscripts can be partitioned")
+        if not conds:
+            return None, guarded_dims
+        guard = conds[0]
+        for extra in conds[1:]:
+            guard = A.BinOp(".and.", guard, extra)
+        return guard, guarded_dims
+
+    def _check_global_reads(self, expr: A.Expr, env: dict[str, int],
+                            table: SymbolTable, unit_name: str,
+                            guarded_dims: dict[int, A.Expr],
+                            line: int) -> None:
+        """Reject reads that would need data from a non-neighbor rank.
+
+        A fixed-subscript read on a cut dimension is only legal when the
+        statement's write guard pins execution to a rank owning a nearby
+        coordinate (e.g. ``v(n, j) = v(n - 1, j)``): the read must sit
+        within the dependency distance of the guarded coordinate, so it
+        is locally owned or halo-covered.
+        """
+        loop_vars = set(env)
+        invariants = {s.name: int(s.param_value)
+                      for s in table.symbols.values()
+                      if s.is_parameter and isinstance(s.param_value, int)}
+        max_dist = max(1, self.directives.max_distance)
+        for node in A.walk(expr):
+            if not isinstance(node, A.ArrayRef):
+                continue
+            ap = self.plan.arrays.get(node.name)
+            if ap is None:
+                continue
+            for adim, sub in enumerate(node.subs):
+                g = ap.dim_map[adim]
+                if g is None or g not in self.cut:
+                    continue
+                info = analyze_subscript(sub, loop_vars, invariants)
+                if info.kind is not SubscriptKind.CONSTANT:
+                    continue
+                anchor = guarded_dims.get(g)
+                if anchor is not None and self._near(anchor, sub,
+                                                     invariants, max_dist):
+                    continue
+                raise CodegenError(
+                    f"status array {node.name!r} is read at a fixed "
+                    f"subscript on cut dimension {g} in unit "
+                    f"{unit_name!r} (line {line}); such global reads "
+                    f"need the owning rank's data everywhere — leave "
+                    f"dimension {g} uncut or restructure the code")
+
+    @staticmethod
+    def _near(anchor: A.Expr, read: A.Expr,
+              invariants: dict[str, int], max_dist: int) -> bool:
+        """Is *read* within *max_dist* of the guarded *anchor* subscript?"""
+        from repro.fortran.printer import print_expr
+
+        def const_value(e: A.Expr) -> int | None:
+            info = analyze_subscript(e, set(), invariants)
+            return info.const if info.kind is SubscriptKind.CONSTANT \
+                else None
+
+        a, r = const_value(anchor), const_value(read)
+        if a is not None and r is not None:
+            return abs(a - r) <= max_dist
+        if print_expr(anchor) == print_expr(read):
+            return True
+        # symbolic anchor ± small literal, e.g. anchor `n`, read `n - 1`
+        if isinstance(read, A.BinOp) and read.op in ("+", "-") \
+                and isinstance(read.right, A.IntLit) \
+                and read.right.value <= max_dist \
+                and print_expr(read.left) == print_expr(anchor):
+            return True
+        return False
+
+    # -- I/O ------------------------------------------------------------------------
+
+    def _transform_io(self, unit: A.ProgramUnit) -> None:
+        self._transform_io_body(unit.body, unit.name)
+
+    def _transform_io_body(self, body: list[A.Stmt], unit_name: str) -> None:
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            if isinstance(stmt, (A.DoLoop, A.DoWhile)):
+                self._transform_io_body(stmt.body, unit_name)
+            elif isinstance(stmt, A.IfBlock):
+                for _cond, arm_body in stmt.arms:
+                    self._transform_io_body(arm_body, unit_name)
+            elif isinstance(stmt, A.ReadStmt):
+                replacement = self._transform_read(stmt, unit_name)
+                body[i:i + 1] = replacement
+                i += len(replacement)
+                continue
+            elif isinstance(stmt, A.WriteStmt):
+                fetches = self._extract_probe_fetches(stmt, unit_name)
+                guard = A.BinOp(".eq.", _fn("acfd_rank"), _int(0))
+                wrapped = A.IfBlock(arms=[(guard, [stmt])], line=stmt.line,
+                                    label=stmt.label)
+                stmt.label = None
+                body[i:i + 1] = fetches + [wrapped]
+                i += len(fetches)
+            elif isinstance(stmt, (A.OpenStmt, A.CloseStmt)):
+                guard = A.BinOp(".eq.", _fn("acfd_rank"), _int(0))
+                body[i] = A.IfBlock(arms=[(guard, [stmt])], line=stmt.line,
+                                    label=stmt.label)
+                stmt.label = None
+            i += 1
+
+    def _extract_probe_fetches(self, stmt: A.WriteStmt,
+                               unit_name: str) -> list[A.Stmt]:
+        """Distributed-array probes in WRITE lists.
+
+        ``write (6,*) v(n/2, m/2)`` would read a possibly-remote element
+        on rank 0; the element is fetched collectively first (the owner
+        broadcasts it via ``acfd_get``) and the write prints the local
+        temporary.
+        """
+        fetches: list[A.Stmt] = []
+        for pos, item in enumerate(stmt.items):
+            if not isinstance(item, A.ArrayRef):
+                continue
+            if item.name not in self.plan.arrays:
+                continue
+            self._probe_counter += 1
+            tmp = A.Var(f"acfd_probe{self._probe_counter}")
+            fetches.append(A.Assign(
+                target=tmp,
+                value=_fn("acfd_get", A.Var(item.name), *item.subs),
+                line=stmt.line))
+            stmt.items[pos] = tmp
+        return fetches
+
+    def _transform_read(self, stmt: A.ReadStmt,
+                        unit_name: str) -> list[A.Stmt]:
+        """rank 0 reads; values broadcast to every rank."""
+        for item in stmt.items:
+            if not isinstance(item, A.Var):
+                raise CodegenError(
+                    f"READ of non-scalar item in unit {unit_name!r} "
+                    f"(line {stmt.line}) is not supported by the "
+                    f"restructurer; read scalars and fill status arrays "
+                    f"in field loops")
+        guard = A.BinOp(".eq.", _fn("acfd_rank"), _int(0))
+        out: list[A.Stmt] = [A.IfBlock(arms=[(guard, [stmt])],
+                                       line=stmt.line, label=stmt.label)]
+        stmt.label = None
+        for item in stmt.items:
+            out.append(A.Assign(target=A.Var(item.name),
+                                value=_fn("acfd_bcast", A.Var(item.name))))
+        return out
+
+
+def restructure(plan: ParallelPlan) -> A.CompilationUnit:
+    """Produce the SPMD program for *plan* (the input AST is not touched)."""
+    return Restructurer(plan).run()

@@ -1,0 +1,206 @@
+"""The per-rank runtime behind the generated ``acfd_*`` calls.
+
+The restructured SPMD program is rank-agnostic; every rank-dependent value
+flows through one of these methods (the generated Python maps a call
+``acfd_xyz(...)`` onto ``ctx.rt.xyz(...)``):
+
+======================  ====================================================
+``acfd_rank()``          this rank's id
+``acfd_nprocs()``        world size
+``acfd_lo(g)``           owned lower bound of grid dim *g* (1-based dim)
+``acfd_hi(g)``           owned upper bound
+``acfd_owns(g, c)``      does this rank own grid coordinate *c* on dim *g*
+``acfd_lb(name, k)``     local declaration lower bound of array dim *k*
+``acfd_ub(name, k)``     local declaration upper bound (ghosts included)
+``acfd_exchange(k, …)``  aggregated halo exchange for combined sync *k*
+``acfd_pipe_recv(p, …)`` pipeline receive before a self-dependent sweep
+``acfd_pipe_send(p, …)`` pipeline send after a self-dependent sweep
+``acfd_allreduce_*``     global max/min/sum of a scalar
+``acfd_bcast(x)``        broadcast from rank 0
+``acfd_barrier()``       barrier
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.codegen.plan import ParallelPlan
+from repro.errors import RuntimeCommError
+from repro.interp.values import OffsetArray
+from repro.partition.halo import GhostSpec, ghost_bounds
+from repro.runtime.cart import CartComm
+from repro.runtime.comm import Communicator
+from repro.runtime.halo import HaloExchanger, HaloSpec
+from repro.runtime.trace import TraceEvent
+
+_PIPE_TAG_BASE = 1 << 17
+
+
+class RankRuntime:
+    """One rank's view of the parallel execution (the ``ctx.rt`` object)."""
+
+    def __init__(self, comm: Communicator, plan: ParallelPlan) -> None:
+        self.comm = comm
+        self.plan = plan
+        self.partition = plan.partition
+        if comm.size != self.partition.size:
+            raise RuntimeCommError(
+                f"plan wants {self.partition.size} ranks, world has "
+                f"{comm.size}")
+        self.cart = CartComm(comm, self.partition.dims)
+        self.subgrid = self.partition.subgrid(comm.rank)
+        self._exchangers: dict[int, HaloExchanger] = {}
+
+    # -- identity / geometry -----------------------------------------------------
+
+    def rank(self) -> int:
+        return self.comm.rank
+
+    def nprocs(self) -> int:
+        return self.comm.size
+
+    def lo(self, g: int) -> int:
+        """Owned lower bound of grid dim *g* (1-based)."""
+        return self.subgrid.owned[g - 1][0]
+
+    def hi(self, g: int) -> int:
+        return self.subgrid.owned[g - 1][1]
+
+    def owns(self, g: int, c) -> bool:
+        lo, hi = self.subgrid.owned[g - 1]
+        return lo <= int(c) <= hi
+
+    def lb(self, name: str, adim: int) -> int:
+        return self._local_bounds(name)[adim - 1][0]
+
+    def ub(self, name: str, adim: int) -> int:
+        return self._local_bounds(name)[adim - 1][1]
+
+    def _local_bounds(self, name: str) -> list[tuple[int, int]]:
+        ap = self.plan.arrays[name]
+        return ghost_bounds(self.partition, self.comm.rank, ap.dim_map,
+                            ap.original_bounds, ap.ghosts)
+
+    # -- communication -------------------------------------------------------------
+
+    def _halo_spec(self, name: str, array: OffsetArray,
+                   distances: dict[int, tuple[int, int]]) -> HaloSpec:
+        ap = self.plan.arrays[name]
+        ndims = self.plan.directives.ndims
+        dist = tuple(distances.get(g, (0, 0)) for g in range(ndims))
+        return HaloSpec(array=array, dim_map=ap.dim_map,
+                        owned=self.subgrid.owned, dist=dist)
+
+    def exchange(self, sync_id: int, *arrays: OffsetArray) -> None:
+        """Aggregated halo exchange for combined sync point *sync_id*."""
+        sync = self.plan.syncs[int(sync_id) - 1]
+        if len(arrays) != len(sync.arrays):
+            raise RuntimeCommError(
+                f"sync {sync_id}: {len(arrays)} arrays passed, plan has "
+                f"{len(sync.arrays)}")
+        specs = [self._halo_spec(name, arr, dists)
+                 for (name, dists), arr in zip(sync.arrays, arrays)]
+        HaloExchanger(self.cart, specs, point_id=int(sync_id)).exchange()
+
+    def pipe_recv(self, pipe_id: int, *arrays: OffsetArray) -> None:
+        """Blocking receive of pipelined new values from minus neighbors."""
+        pipe = self.plan.pipes[int(pipe_id) - 1]
+        specs = self._pipe_specs(pipe, arrays)
+        for g in pipe.pipeline_dims:
+            neighbor = self.cart.neighbor(g, -1)
+            if neighbor is None:
+                continue
+            tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
+            payload = self.comm.recv(neighbor, tag)
+            for spec, section in zip(specs, payload):
+                ranges = spec.recv_ranges(g, -1)
+                if ranges is not None:
+                    spec.array.set_section(ranges, section)
+
+    def pipe_send(self, pipe_id: int, *arrays: OffsetArray) -> None:
+        """Ship freshly computed plus-edge layers down the pipeline."""
+        pipe = self.plan.pipes[int(pipe_id) - 1]
+        specs = self._pipe_specs(pipe, arrays)
+        for g in pipe.pipeline_dims:
+            neighbor = self.cart.neighbor(g, +1)
+            if neighbor is None:
+                continue
+            tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
+            payload = [spec.send_section(g, +1) for spec in specs]
+            # marker event only (comm.send records the payload bytes)
+            self.comm.trace.record(TraceEvent(
+                self.comm.rank, "pipeline_send", neighbor, 0, tag))
+            self.comm.send(neighbor, payload, tag)
+
+    def _pipe_specs(self, pipe, arrays) -> list[HaloSpec]:
+        if len(arrays) != len(pipe.arrays):
+            raise RuntimeCommError(
+                f"pipe {pipe.pipe_id}: {len(arrays)} arrays passed, plan "
+                f"has {len(pipe.arrays)}")
+        specs = []
+        for name, arr in zip(pipe.arrays, arrays):
+            use = pipe.field_loop.uses.get(name)
+            ndims = self.plan.directives.ndims
+            dist = tuple(use.max_read_distance(g) if use is not None
+                         else (0, 0) for g in range(ndims))
+            ap = self.plan.arrays[name]
+            specs.append(HaloSpec(array=arr, dim_map=ap.dim_map,
+                                  owned=self.subgrid.owned, dist=dist))
+        return specs
+
+    # -- element probes -----------------------------------------------------------
+
+    def get(self, array: OffsetArray, *subs) -> float:
+        """Fetch one element of a distributed array, collectively.
+
+        The owning rank broadcasts the value; every rank must call this
+        (the restructurer emits the call outside any rank guard).
+        """
+        ap = self.plan.arrays[array.name]
+        owner = self._owner_of(ap, [int(s) for s in subs])
+        value = None
+        if self.comm.rank == owner:
+            value = array.get(*[int(s) for s in subs])
+        return self.comm.bcast(value, root=owner)
+
+    def _owner_of(self, ap, subs: list[int]) -> int:
+        """Rank owning the grid point addressed by *subs*."""
+        coords = []
+        for g in range(self.partition.ndims):
+            point = None
+            for adim, mapped in enumerate(ap.dim_map):
+                if mapped == g:
+                    point = subs[adim]
+                    break
+            if point is None:
+                coords.append(0)
+                continue
+            # locate the partition slice containing this grid point
+            from repro.partition.grid import split_extent
+            ranges = split_extent(self.partition.grid.shape[g],
+                                  self.partition.dims[g])
+            for c, (lo, hi) in enumerate(ranges):
+                if lo <= point <= hi:
+                    coords.append(c)
+                    break
+            else:
+                # boundary padding beyond the grid belongs to edge ranks
+                coords.append(0 if point < ranges[0][0]
+                              else self.partition.dims[g] - 1)
+        return self.partition.rank_of(tuple(coords))
+
+    # -- reductions / broadcast ------------------------------------------------------
+
+    def allreduce_max(self, value):
+        return self.comm.allreduce(value, "max")
+
+    def allreduce_min(self, value):
+        return self.comm.allreduce(value, "min")
+
+    def allreduce_sum(self, value):
+        return self.comm.allreduce(value, "sum")
+
+    def bcast(self, value):
+        return self.comm.bcast(value, root=0)
+
+    def barrier(self) -> None:
+        self.comm.barrier()

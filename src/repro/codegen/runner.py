@@ -1,0 +1,154 @@
+"""Execute a generated SPMD program and stitch the distributed result.
+
+``run_parallel`` compiles the restructured program once (all ranks run the
+same code — SPMD), launches it on the in-process runtime with one thread
+per rank, and reassembles every status array from the ranks' owned blocks
+so tests can compare against the sequential run bitwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codegen.plan import ParallelPlan
+from repro.codegen.restructure import restructure
+from repro.codegen.rtadapter import RankRuntime
+from repro.errors import InterpError
+from repro.fortran import ast as A
+from repro.interp.io_runtime import IoManager
+from repro.interp.pyback import CompiledProgram, compile_unit
+from repro.interp.values import DTYPES, OffsetArray
+from repro.partition.halo import GhostSpec, ghost_bounds
+from repro.runtime.trace import Trace
+from repro.runtime.world import World, spmd_run
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a parallel run."""
+
+    plan: ParallelPlan
+    world: World
+    spmd_cu: A.CompilationUnit
+    #: status arrays stitched back to global shape
+    arrays: dict[str, OffsetArray] = field(default_factory=dict)
+    #: per-rank final value dictionaries (from the generated main)
+    rank_values: list[dict] = field(default_factory=list)
+    #: rank 0's I/O manager (holds program output)
+    io: IoManager | None = None
+
+    @property
+    def trace(self) -> Trace:
+        return self.world.trace
+
+    def array(self, name: str) -> OffsetArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise InterpError(f"{name!r} is not a stitched status array")
+
+    def scalar(self, name: str):
+        values = self.rank_values[0]
+        if name not in values:
+            raise InterpError(f"{name!r} not in rank 0's final state")
+        return values[name]
+
+    def output(self, unit: int = 6) -> str:
+        assert self.io is not None
+        return self.io.output(unit)
+
+
+def _no_ghost(ndims: int) -> GhostSpec:
+    return GhostSpec(tuple((0, 0) for _ in range(ndims)))
+
+
+def _stitch(plan: ParallelPlan, rank_values: list[dict]
+            ) -> dict[str, OffsetArray]:
+    """Assemble global status arrays from the ranks' owned sections."""
+    out: dict[str, OffsetArray] = {}
+    zero = _no_ghost(plan.directives.ndims)
+    for name, ap in plan.arrays.items():
+        dtype = DTYPES.get(ap.type_name, np.float64)
+        global_arr = OffsetArray.from_bounds(ap.original_bounds, dtype, name)
+        for rank in range(plan.partition.size):
+            local = rank_values[rank].get(name)
+            if local is None:
+                # array lives in COMMON: look it up through the ctx
+                continue
+            owned = ghost_bounds(plan.partition, rank, ap.dim_map,
+                                 ap.original_bounds, zero)
+            global_arr.set_section(owned, local.section(owned))
+        out[name] = global_arr
+    return out
+
+
+def _find_common_array(compiled: CompiledProgram, ctx, name: str):
+    for unit in compiled.cu.units:
+        table = unit.symbols
+        for block, members in table.common_blocks.items():
+            for pos, member in enumerate(members):
+                if member == name:
+                    slot = ctx.commons[block][pos]
+                    if isinstance(slot, OffsetArray):
+                        return slot
+    return None
+
+
+def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
+                 input_unit: int = 5, timeout: float = 120.0,
+                 spmd_cu: A.CompilationUnit | None = None) -> ParallelResult:
+    """Restructure (unless given), compile, and run the SPMD program.
+
+    Args:
+        plan: the parallelization plan.
+        input_text: list-directed input preloaded on every rank (only rank
+            0 consumes it — the generated program guards READs).
+        input_unit: Fortran unit for the input data.
+        timeout: per-receive watchdog (seconds).
+        spmd_cu: a pre-restructured program (to avoid re-generating).
+    """
+    if spmd_cu is None:
+        spmd_cu = restructure(plan)
+    compiled = compile_unit(spmd_cu)
+    nprocs = plan.partition.size
+    ctxs: list = [None] * nprocs
+
+    def body(comm):
+        rt = RankRuntime(comm, plan)
+        io = IoManager()
+        if input_text is not None:
+            io.provide_input(input_unit, input_text)
+            if input_unit != 5:
+                io.provide_input(5, input_text)
+        ctx = compiled.make_ctx(io, rt)
+        ctxs[comm.rank] = ctx
+        fn = compiled.function(compiled.cu.main.name)
+        from repro.interp.pyback import _Stop
+        try:
+            result = fn(ctx)
+        except _Stop:
+            result = {}
+        return (result if isinstance(result, dict) else {}, io)
+
+    world = spmd_run(nprocs, body, timeout=timeout)
+    rank_values = []
+    rank_ios = []
+    for rank in range(nprocs):
+        values, io = world.results[rank]
+        # COMMON status arrays are not in the main unit's value dict; pull
+        # them from the rank's context
+        for name in plan.arrays:
+            if name not in values or not isinstance(values.get(name),
+                                                    OffsetArray):
+                arr = _find_common_array(compiled, ctxs[rank], name)
+                if arr is not None:
+                    values = dict(values)
+                    values[name] = arr
+        rank_values.append(values)
+        rank_ios.append(io)
+    arrays = _stitch(plan, rank_values)
+    return ParallelResult(plan=plan, world=world, spmd_cu=spmd_cu,
+                          arrays=arrays, rank_values=rank_values,
+                          io=rank_ios[0])

@@ -1,0 +1,20 @@
+"""The Auto-CFD pre-compiler driver.
+
+:class:`repro.core.pipeline.AutoCFD` wires the whole system together:
+parse → directives → normalize → partition → dependency analysis →
+synchronization optimization → SPMD restructuring, and exposes the
+compilation report (Table 1's synchronization counts) plus runners for
+both the sequential and the generated parallel program.
+"""
+
+from repro.core.pipeline import AutoCFD, CompileResult
+from repro.core.report import CompilationReport
+from repro.core.verify import (
+    PartitionVerdict,
+    VerificationReport,
+    verify_equivalence,
+)
+
+__all__ = ["AutoCFD", "CompileResult", "CompilationReport",
+           "PartitionVerdict", "VerificationReport",
+           "verify_equivalence"]

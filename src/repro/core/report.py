@@ -1,0 +1,39 @@
+"""Compilation reports: the quantities Table 1 tabulates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompilationReport:
+    """Synchronization accounting for one compilation."""
+
+    program: str
+    partition: tuple[int, ...]
+    syncs_before: int
+    syncs_after: int
+    pairs_total: int
+    pairs_active: int
+    pipes: int
+    combined_points: int
+    arrays: list[str] = field(default_factory=list)
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.syncs_before == 0:
+            return 0.0
+        return 100.0 * (self.syncs_before - self.syncs_after) \
+            / self.syncs_before
+
+    def row(self) -> str:
+        """One formatted row in the style of the paper's Table 1."""
+        part = "x".join(str(p) for p in self.partition)
+        return (f"{self.program:<28s} {part:>9s} "
+                f"{self.syncs_before:>6d} {self.syncs_after:>6d} "
+                f"{self.reduction_percent:>7.1f}")
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'program':<28s} {'partition':>9s} "
+                f"{'before':>6s} {'after':>6s} {'%opt':>7s}")

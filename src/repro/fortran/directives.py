@@ -1,0 +1,165 @@
+"""Parsing of the ``$acfd`` user directives (paper Appendix 1).
+
+Auto-CFD is "highly automatic, requiring a minimum number of user
+directives": the user tells the pre-compiler *what the CFD application looks
+like* (status arrays, flow-field shape) and *what the cluster looks like*
+(partitioning), and nothing about parallelization itself.  Directives are
+comments (``c$acfd`` fixed form / ``!$acfd`` free form), so the annotated
+program remains a valid sequential Fortran program.
+
+Supported directives::
+
+    !$acfd status u, v, p          arrays that carry flow-field state
+    !$acfd grid 99 41 13           flow-field extents (1, 2, or 3 dims)
+    !$acfd partition 4 1 1         subgrids per dimension (one per grid dim)
+    !$acfd distance 2              max dependency distance (default 1)
+    !$acfd frame iter              loop variable of the time-frame loop
+    !$acfd dims q 1 2 0            status-dimension map for packed arrays:
+                                   array dim k corresponds to grid dim
+                                   dims[k] (1-based; 0 = extended dimension)
+
+The ``dims`` directive implements paper case (4) of §4.2: arrays whose rank
+exceeds the flow-field rank because several status arrays were packed into
+one; the extended dimensions must not participate in partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DirectiveError
+from repro.fortran import ast as A
+
+
+@dataclass
+class AcfdDirectives:
+    """Validated directive set for a compilation unit."""
+
+    status_arrays: list[str] = field(default_factory=list)
+    grid_shape: tuple[int, ...] = ()
+    partition: tuple[int, ...] = ()
+    max_distance: int = 1
+    frame_var: str | None = None
+    #: array name -> tuple mapping array dim (0-based) to grid dim
+    #: (0-based) or None for extended dimensions.
+    dim_maps: dict[str, tuple[int | None, ...]] = field(default_factory=dict)
+
+    @property
+    def ndims(self) -> int:
+        """Rank of the flow field."""
+        return len(self.grid_shape)
+
+    def status_dims(self, array: str, rank: int) -> tuple[int | None, ...]:
+        """Map each dimension of *array* to a grid dimension (or None).
+
+        Without an explicit ``dims`` directive, the first ``ndims``
+        dimensions of a status array are assumed to be the status
+        dimensions, in order; trailing dimensions are extended (packed)
+        dimensions.
+        """
+        if array in self.dim_maps:
+            mapping = self.dim_maps[array]
+            if len(mapping) != rank:
+                raise DirectiveError(
+                    f"dims directive for {array!r} has {len(mapping)} "
+                    f"entries, array has rank {rank}")
+            return mapping
+        return tuple(d if d < self.ndims else None for d in range(rank))
+
+    def validate(self) -> None:
+        """Check internal consistency of the directive set."""
+        if not self.status_arrays:
+            raise DirectiveError("no 'status' directive: at least one status "
+                                 "array is required")
+        if not self.grid_shape:
+            raise DirectiveError("no 'grid' directive")
+        if not 1 <= len(self.grid_shape) <= 3:
+            raise DirectiveError("grid must have 1-3 dimensions")
+        if self.partition and len(self.partition) != len(self.grid_shape):
+            raise DirectiveError(
+                f"partition has {len(self.partition)} entries but the grid "
+                f"has {len(self.grid_shape)} dimensions")
+        if any(n <= 0 for n in self.grid_shape):
+            raise DirectiveError("grid extents must be positive")
+        if any(p <= 0 for p in self.partition):
+            raise DirectiveError("partition factors must be positive")
+        if self.max_distance < 1:
+            raise DirectiveError("distance must be >= 1")
+        for name, mapping in self.dim_maps.items():
+            used = [d for d in mapping if d is not None]
+            if len(set(used)) != len(used):
+                raise DirectiveError(
+                    f"dims directive for {name!r} maps two array dimensions "
+                    f"to one grid dimension")
+            if any(d >= self.ndims for d in used):
+                raise DirectiveError(
+                    f"dims directive for {name!r} references grid dimension "
+                    f"beyond the grid rank")
+
+
+def _parse_one(text: str, target: AcfdDirectives, line: int) -> None:
+    parts = text.replace(",", " ").split()
+    if not parts:
+        raise DirectiveError("empty directive", line=line)
+    keyword = parts[0].lower()
+    args = parts[1:]
+    if keyword == "status":
+        if not args:
+            raise DirectiveError("status directive needs array names",
+                                 line=line)
+        for name in args:
+            low = name.lower()
+            if low not in target.status_arrays:
+                target.status_arrays.append(low)
+    elif keyword == "grid":
+        try:
+            target.grid_shape = tuple(int(a) for a in args)
+        except ValueError as exc:
+            raise DirectiveError(f"bad grid directive: {exc}", line=line)
+    elif keyword == "partition":
+        try:
+            target.partition = tuple(int(a) for a in args)
+        except ValueError as exc:
+            raise DirectiveError(f"bad partition directive: {exc}", line=line)
+    elif keyword == "distance":
+        if len(args) != 1 or not args[0].isdigit():
+            raise DirectiveError("distance directive needs one integer",
+                                 line=line)
+        target.max_distance = int(args[0])
+    elif keyword == "frame":
+        if len(args) != 1:
+            raise DirectiveError("frame directive needs one loop variable",
+                                 line=line)
+        target.frame_var = args[0].lower()
+    elif keyword == "dims":
+        if len(args) < 2:
+            raise DirectiveError("dims directive: dims <array> <d1> ...",
+                                 line=line)
+        name = args[0].lower()
+        mapping: list[int | None] = []
+        for a in args[1:]:
+            if not a.lstrip("-").isdigit():
+                raise DirectiveError(f"bad dims entry {a!r}", line=line)
+            v = int(a)
+            mapping.append(None if v == 0 else v - 1)
+        target.dim_maps[name] = tuple(mapping)
+    else:
+        raise DirectiveError(f"unknown directive {keyword!r}", line=line)
+
+
+def extract_directives(cu: A.CompilationUnit) -> AcfdDirectives:
+    """Collect and validate all ``$acfd`` directives in a compilation unit.
+
+    Returns an empty directive set when the program carries no directives
+    (the front end can still be used as a plain Fortran toolkit).
+    """
+    directives = AcfdDirectives()
+    seen = False
+    for unit in cu.units:
+        for stmt in list(unit.decls) + list(A.walk_statements(unit.body)):
+            if isinstance(stmt, A.DirectiveStmt):
+                seen = True
+                _parse_one(stmt.text, directives, stmt.line)
+    if seen:
+        directives.validate()
+    return directives

@@ -1,0 +1,41 @@
+"""Table of Fortran intrinsic functions recognised by the front end.
+
+Only name recognition lives here; runtime behaviour is implemented in
+:mod:`repro.interp.intrinsics`.  A name in this table that is not declared
+as an array resolves to :class:`repro.fortran.ast.FuncCall`.
+"""
+
+from __future__ import annotations
+
+#: Intrinsics with their minimum arity (max arity is unbounded for the
+#: min/max family).
+INTRINSIC_FUNCTIONS: dict[str, int] = {
+    "abs": 1, "iabs": 1, "dabs": 1,
+    "sqrt": 1, "dsqrt": 1,
+    "exp": 1, "dexp": 1,
+    "log": 1, "alog": 1, "dlog": 1,
+    "log10": 1, "alog10": 1,
+    "sin": 1, "cos": 1, "tan": 1, "asin": 1, "acos": 1,
+    "atan": 1, "atan2": 2, "sinh": 1, "cosh": 1, "tanh": 1,
+    "max": 2, "amax1": 2, "max0": 2, "dmax1": 2,
+    "min": 2, "amin1": 2, "min0": 2, "dmin1": 2,
+    "mod": 2, "amod": 2, "dmod": 2,
+    "sign": 2, "isign": 2, "dsign": 2,
+    "int": 1, "ifix": 1, "idint": 1,
+    "nint": 1, "anint": 1,
+    "real": 1, "float": 1, "sngl": 1,
+    "dble": 1, "dfloat": 1,
+    "aint": 1, "dint": 1,
+    "len": 1, "index": 2, "char": 1, "ichar": 1,
+}
+
+#: Intrinsics returning integer regardless of argument type.
+INTEGER_RESULT = {
+    "int", "ifix", "idint", "nint", "iabs", "isign", "mod", "max0", "min0",
+    "len", "index", "ichar",
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    """True when *name* (lowercase) is a recognised intrinsic function."""
+    return name in INTRINSIC_FUNCTIONS

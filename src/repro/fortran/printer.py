@@ -1,0 +1,258 @@
+"""Pretty-printer: AST back to free-form Fortran source.
+
+The printer regenerates compilable free-form Fortran.  It is round-trip
+stable: ``parse(print(unit))`` yields a structurally equal AST (ignoring
+source positions).  The SPMD code generator uses this module to emit the
+transformed parallel program — the actual artifact the Auto-CFD paper's
+pre-compiler produced.
+"""
+
+from __future__ import annotations
+
+from repro.fortran import ast as A
+
+_INDENT = "  "
+
+#: Precedence table (higher binds tighter), mirrors the parser.
+_PREC = {
+    ".eqv.": 1, ".neqv.": 1,
+    ".or.": 2,
+    ".and.": 3,
+    ".lt.": 5, ".le.": 5, ".gt.": 5, ".ge.": 5, ".eq.": 5, ".ne.": 5,
+    "//": 6,
+    "+": 7, "-": 7,
+    "*": 8, "/": 8,
+    "**": 10,
+}
+
+
+def print_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression, adding parentheses only where required."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.RealLit):
+        if expr.text:
+            return expr.text
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text) else text + ".0"
+    if isinstance(expr, A.LogicalLit):
+        return ".true." if expr.value else ".false."
+    if isinstance(expr, A.StringLit):
+        return "'" + expr.value.replace("'", "''") + "'"
+    if isinstance(expr, A.Var):
+        return expr.name
+    if isinstance(expr, (A.Apply, A.FuncCall)):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, A.ArrayRef):
+        subs = ", ".join(print_expr(s) for s in expr.subs)
+        return f"{expr.name}({subs})"
+    if isinstance(expr, A.RangeExpr):
+        lo = print_expr(expr.lo) if expr.lo is not None else ""
+        hi = print_expr(expr.hi) if expr.hi is not None else ""
+        return f"{lo}:{hi}"
+    if isinstance(expr, A.UnOp):
+        if expr.op == ".not.":
+            inner = print_expr(expr.operand, 4)
+            text = f".not. {inner}"
+            # parenthesize when embedded tighter than .and.
+            return f"({text})" if parent_prec > 3 else text
+        inner = (print_expr(expr.operand, 9) if _is_atom(expr.operand)
+                 else f"({print_expr(expr.operand)})")
+        text = f"{expr.op}{inner}"
+        # a unary sign is only legal leading a term: parenthesize when it
+        # would follow another operator (e.g. the RHS of '+')
+        return f"({text})" if parent_prec >= 8 else text
+    if isinstance(expr, A.BinOp):
+        prec = _PREC[expr.op]
+        left = print_expr(expr.left, prec)
+        # right operand of a left-assoc op needs parens at equal precedence
+        right = print_expr(expr.right, prec + (0 if expr.op == "**" else 1))
+        sep = "" if expr.op in ("**",) else " "
+        text = f"{left}{sep}{expr.op}{sep}{right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, A.ImpliedDo):
+        items = ", ".join(print_expr(i) for i in expr.items)
+        ctrl = f"{expr.var} = {print_expr(expr.start)}, {print_expr(expr.stop)}"
+        if expr.step is not None:
+            ctrl += f", {print_expr(expr.step)}"
+        return f"({items}, {ctrl})"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def _is_atom(expr: A.Expr) -> bool:
+    return isinstance(expr, (A.IntLit, A.RealLit, A.Var, A.ArrayRef,
+                             A.Apply, A.FuncCall))
+
+
+def _entities(entities: list[tuple[str, list[A.Expr]]]) -> str:
+    parts = []
+    for name, dims in entities:
+        if dims:
+            parts.append(f"{name}({', '.join(print_expr(d) for d in dims)})")
+        else:
+            parts.append(name)
+    return ", ".join(parts)
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def emit(self, depth: int, text: str, label: int | None = None) -> None:
+        prefix = f"{label} " if label is not None else ""
+        self.lines.append(prefix + _INDENT * depth + text)
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, s: A.Stmt, depth: int) -> None:
+        label = s.label
+        if isinstance(s, A.Declaration):
+            kind = f"*{print_expr(s.kind)}" if s.kind is not None else ""
+            name = ("double precision" if s.type_name == "doubleprecision"
+                    else s.type_name)
+            self.emit(depth, f"{name}{kind} {_entities(s.entities)}", label)
+        elif isinstance(s, A.DimensionStmt):
+            self.emit(depth, f"dimension {_entities(s.entities)}", label)
+        elif isinstance(s, A.ParameterStmt):
+            inner = ", ".join(f"{n} = {print_expr(e)}"
+                              for n, e in s.assignments)
+            self.emit(depth, f"parameter ({inner})", label)
+        elif isinstance(s, A.CommonStmt):
+            block = f"/{s.block}/ " if s.block else ""
+            self.emit(depth, f"common {block}{_entities(s.entities)}", label)
+        elif isinstance(s, A.DataStmt):
+            names = ", ".join(s.names)
+            values = ", ".join(print_expr(v) for v in s.values)
+            self.emit(depth, f"data {names} / {values} /", label)
+        elif isinstance(s, A.ImplicitStmt):
+            self.emit(depth, "implicit none", label)
+        elif isinstance(s, A.SaveStmt):
+            self.emit(depth, "save " + ", ".join(s.names), label)
+        elif isinstance(s, A.ExternalStmt):
+            self.emit(depth, "external " + ", ".join(s.names), label)
+        elif isinstance(s, A.IntrinsicStmt):
+            self.emit(depth, "intrinsic " + ", ".join(s.names), label)
+        elif isinstance(s, A.Assign):
+            self.emit(depth,
+                      f"{print_expr(s.target)} = {print_expr(s.value)}",
+                      label)
+        elif isinstance(s, A.DoLoop):
+            ctrl = (f"do {s.var} = {print_expr(s.start)}, "
+                    f"{print_expr(s.stop)}")
+            if s.step is not None:
+                ctrl += f", {print_expr(s.step)}"
+            self.emit(depth, ctrl, label)
+            for inner in s.body:
+                self.stmt(inner, depth + 1)
+            self.emit(depth, "end do")
+        elif isinstance(s, A.DoWhile):
+            self.emit(depth, f"do while ({print_expr(s.cond)})", label)
+            for inner in s.body:
+                self.stmt(inner, depth + 1)
+            self.emit(depth, "end do")
+        elif isinstance(s, A.IfBlock):
+            for i, (cond, body) in enumerate(s.arms):
+                if i == 0:
+                    self.emit(depth, f"if ({print_expr(cond)}) then", label)
+                elif cond is not None:
+                    self.emit(depth, f"else if ({print_expr(cond)}) then")
+                else:
+                    self.emit(depth, "else")
+                for inner in body:
+                    self.stmt(inner, depth + 1)
+            self.emit(depth, "end if")
+        elif isinstance(s, A.LogicalIf):
+            sub = _Printer()
+            sub.stmt(s.stmt, 0)
+            assert len(sub.lines) == 1, "logical IF must hold a simple statement"
+            self.emit(depth, f"if ({print_expr(s.cond)}) {sub.lines[0].strip()}",
+                      label)
+        elif isinstance(s, A.Goto):
+            self.emit(depth, f"goto {s.target}", label)
+        elif isinstance(s, A.ComputedGoto):
+            targets = ", ".join(str(t) for t in s.targets)
+            self.emit(depth, f"goto ({targets}), {print_expr(s.selector)}",
+                      label)
+        elif isinstance(s, A.Continue):
+            self.emit(depth, "continue", label)
+        elif isinstance(s, A.CallStmt):
+            args = ", ".join(print_expr(a) for a in s.args)
+            self.emit(depth, f"call {s.name}({args})" if s.args
+                      else f"call {s.name}()", label)
+        elif isinstance(s, A.ReturnStmt):
+            self.emit(depth, "return", label)
+        elif isinstance(s, A.StopStmt):
+            text = "stop" if s.message is None else f"stop '{s.message}'"
+            self.emit(depth, text, label)
+        elif isinstance(s, A.ExitStmt):
+            self.emit(depth, "exit", label)
+        elif isinstance(s, A.CycleStmt):
+            self.emit(depth, "cycle", label)
+        elif isinstance(s, A.ReadStmt):
+            self.emit(depth, self._io("read", s.unit, s.fmt, s.items), label)
+        elif isinstance(s, A.WriteStmt):
+            if s.unit is None:
+                items = ", ".join(print_expr(i) for i in s.items)
+                fmt = f"'{s.fmt}'" if s.fmt else "*"
+                text = f"print {fmt}" + (f", {items}" if items else "")
+                self.emit(depth, text, label)
+            else:
+                self.emit(depth, self._io("write", s.unit, s.fmt, s.items),
+                          label)
+        elif isinstance(s, A.OpenStmt):
+            parts = []
+            if s.unit is not None:
+                parts.append(f"unit = {print_expr(s.unit)}")
+            if s.filename is not None:
+                parts.append(f"file = {print_expr(s.filename)}")
+            if s.status is not None:
+                parts.append(f"status = '{s.status}'")
+            self.emit(depth, f"open ({', '.join(parts)})", label)
+        elif isinstance(s, A.CloseStmt):
+            self.emit(depth, f"close ({print_expr(s.unit)})", label)
+        elif isinstance(s, A.FormatStmt):
+            self.emit(depth, f"format {s.text}", label)
+        elif isinstance(s, A.DirectiveStmt):
+            self.lines.append(f"!$acfd {s.text}")
+        else:
+            raise TypeError(f"cannot print statement {s!r}")
+
+    def _io(self, keyword: str, unit: A.Expr | None, fmt: str | None,
+            items: list[A.Expr]) -> str:
+        unit_text = print_expr(unit) if unit is not None else "*"
+        fmt_text = f", '{fmt}'" if fmt else ", *"
+        item_text = ", ".join(print_expr(i) for i in items)
+        text = f"{keyword} ({unit_text}{fmt_text})"
+        return f"{text} {item_text}" if item_text else text
+
+
+def print_unit(unit: A.ProgramUnit) -> str:
+    """Render one program unit as free-form Fortran source."""
+    p = _Printer()
+    if unit.kind == "program":
+        p.emit(0, f"program {unit.name}")
+    elif unit.kind == "subroutine":
+        args = ", ".join(unit.args)
+        p.emit(0, f"subroutine {unit.name}({args})")
+    else:
+        prefix = ""
+        if unit.result_type:
+            prefix = ("double precision "
+                      if unit.result_type == "doubleprecision"
+                      else unit.result_type + " ")
+        args = ", ".join(unit.args)
+        p.emit(0, f"{prefix}function {unit.name}({args})")
+    for stmt in unit.decls:
+        p.stmt(stmt, 1)
+    for stmt in unit.body:
+        p.stmt(stmt, 1)
+    p.emit(0, f"end {unit.kind} {unit.name}")
+    return "\n".join(p.lines) + "\n"
+
+
+def print_compilation_unit(cu: A.CompilationUnit) -> str:
+    """Render all program units of a compilation unit."""
+    return "\n".join(print_unit(u) for u in cu.units)

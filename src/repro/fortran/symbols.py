@@ -1,0 +1,320 @@
+"""Symbol tables and the Apply-resolution pass.
+
+The parser cannot tell ``v(i, j)`` (array element) from ``f(i, j)``
+(function call), so it emits :class:`repro.fortran.ast.Apply` nodes.  This
+pass builds a per-unit :class:`SymbolTable` from the specification
+statements and rewrites every ``Apply`` into ``ArrayRef`` or ``FuncCall``.
+
+The table also evaluates PARAMETER constants (needed to know array extents
+numerically, which grid partitioning requires) and records COMMON-block
+membership so interprocedural analysis can connect arrays across units.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.fortran import ast as A
+from repro.fortran.intrinsics_table import INTEGER_RESULT, is_intrinsic
+
+
+@dataclass
+class ArrayInfo:
+    """Declared array: per-dimension (lower, upper) bound expressions."""
+
+    name: str
+    bounds: list[tuple[A.Expr, A.Expr]]
+    type_name: str = "real"
+
+    @property
+    def rank(self) -> int:
+        return len(self.bounds)
+
+
+@dataclass
+class Symbol:
+    """One name in a program unit scope."""
+
+    name: str
+    type_name: str = "real"  # integer | real | doubleprecision | logical | character
+    array: ArrayInfo | None = None
+    is_parameter: bool = False
+    param_value: int | float | None = None
+    is_dummy: bool = False
+    common_block: str | None = None
+    is_external: bool = False
+
+    @property
+    def is_array(self) -> bool:
+        return self.array is not None
+
+
+@dataclass
+class SymbolTable:
+    """All symbols of one program unit."""
+
+    unit_name: str
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    common_blocks: dict[str, list[str]] = field(default_factory=dict)
+
+    def get(self, name: str) -> Symbol | None:
+        return self.symbols.get(name.lower())
+
+    def require(self, name: str) -> Symbol:
+        sym = self.get(name)
+        if sym is None:
+            raise SemanticError(f"unknown symbol {name!r} in unit "
+                                f"{self.unit_name!r}")
+        return sym
+
+    def ensure(self, name: str) -> Symbol:
+        """Get or implicitly create (F77 implicit typing) a symbol."""
+        low = name.lower()
+        sym = self.symbols.get(low)
+        if sym is None:
+            type_name = "integer" if low[:1] in "ijklmn" else "real"
+            sym = Symbol(low, type_name)
+            self.symbols[low] = sym
+        return sym
+
+    def arrays(self) -> list[ArrayInfo]:
+        """All declared arrays, in name order."""
+        return sorted((s.array for s in self.symbols.values()
+                       if s.array is not None), key=lambda a: a.name)
+
+    def eval_const(self, expr: A.Expr) -> int | float:
+        """Evaluate a compile-time-constant expression (PARAMETERs allowed)."""
+        if isinstance(expr, A.IntLit):
+            return expr.value
+        if isinstance(expr, A.RealLit):
+            return expr.value
+        if isinstance(expr, A.UnOp):
+            value = self.eval_const(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "+":
+                return value
+            raise SemanticError(f"non-constant unary {expr.op}")
+        if isinstance(expr, A.BinOp):
+            lhs = self.eval_const(expr.left)
+            rhs = self.eval_const(expr.right)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "**": lambda a, b: a ** b,
+            }
+            if expr.op == "/":
+                if isinstance(lhs, int) and isinstance(rhs, int):
+                    return int(lhs / rhs) if rhs != 0 else 0
+                return lhs / rhs
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+            raise SemanticError(f"non-constant operator {expr.op}")
+        if isinstance(expr, A.Var):
+            sym = self.get(expr.name)
+            if sym is not None and sym.is_parameter and sym.param_value is not None:
+                return sym.param_value
+            raise SemanticError(f"{expr.name!r} is not a constant")
+        raise SemanticError(f"expression is not compile-time constant: {expr!r}")
+
+    def array_extent(self, name: str, dim: int) -> int:
+        """Numeric extent of array *name* along 0-based dimension *dim*."""
+        info = self.require(name).array
+        if info is None:
+            raise SemanticError(f"{name!r} is not an array")
+        lo, hi = info.bounds[dim]
+        return int(self.eval_const(hi)) - int(self.eval_const(lo)) + 1
+
+    def array_shape(self, name: str) -> tuple[int, ...]:
+        """Numeric shape of a declared array."""
+        info = self.require(name).array
+        if info is None:
+            raise SemanticError(f"{name!r} is not an array")
+        return tuple(self.array_extent(name, d) for d in range(info.rank))
+
+
+def _bounds_from_dims(dims: list[A.Expr]) -> list[tuple[A.Expr, A.Expr]]:
+    """Normalize declared extents: ``n`` means ``1:n``; ``lo:hi`` kept."""
+    bounds: list[tuple[A.Expr, A.Expr]] = []
+    for dim in dims:
+        if isinstance(dim, A.RangeExpr):
+            lo = dim.lo if dim.lo is not None else A.IntLit(1)
+            if dim.hi is None:
+                raise SemanticError("assumed-size arrays are not supported")
+            bounds.append((lo, dim.hi))
+        else:
+            bounds.append((A.IntLit(1), dim))
+    return bounds
+
+
+def build_symbol_table(unit: A.ProgramUnit) -> SymbolTable:
+    """Collect declarations of one unit into a symbol table."""
+    table = SymbolTable(unit.name)
+    for arg in unit.args:
+        sym = table.ensure(arg)
+        sym.is_dummy = True
+
+    for stmt in unit.decls:
+        if isinstance(stmt, A.Declaration):
+            for name, dims in stmt.entities:
+                sym = table.ensure(name)
+                sym.type_name = stmt.type_name
+                if dims:
+                    sym.array = ArrayInfo(name, _bounds_from_dims(dims),
+                                          stmt.type_name)
+        elif isinstance(stmt, A.DimensionStmt):
+            for name, dims in stmt.entities:
+                sym = table.ensure(name)
+                sym.array = ArrayInfo(name, _bounds_from_dims(dims),
+                                      sym.type_name)
+        elif isinstance(stmt, A.CommonStmt):
+            members = table.common_blocks.setdefault(stmt.block, [])
+            for name, dims in stmt.entities:
+                sym = table.ensure(name)
+                sym.common_block = stmt.block
+                members.append(name)
+                if dims:
+                    sym.array = ArrayInfo(name, _bounds_from_dims(dims),
+                                          sym.type_name)
+        elif isinstance(stmt, A.ParameterStmt):
+            for name, expr in stmt.assignments:
+                sym = table.ensure(name)
+                sym.is_parameter = True
+                sym.param_value = table.eval_const(expr)
+        elif isinstance(stmt, A.ExternalStmt):
+            for name in stmt.names:
+                table.ensure(name).is_external = True
+
+    # Fix arrays declared via DIMENSION before their type declaration.
+    for sym in table.symbols.values():
+        if sym.array is not None:
+            sym.array.type_name = sym.type_name
+    return table
+
+
+class _Resolver:
+    """Rewrites Apply nodes and implicitly declares referenced scalars."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+
+    def expr(self, e: A.Expr) -> A.Expr:
+        if isinstance(e, A.Apply):
+            args = [self.expr(a) for a in e.args]
+            sym = self.table.get(e.name)
+            if sym is not None and sym.is_array:
+                if len(args) != sym.array.rank:
+                    raise SemanticError(
+                        f"array {e.name!r} has rank {sym.array.rank}, "
+                        f"referenced with {len(args)} subscripts in unit "
+                        f"{self.table.unit_name!r}")
+                return A.ArrayRef(e.name, args)
+            if sym is None and not is_intrinsic(e.name):
+                # Unknown name with arguments: treat as an external function
+                # (F77 implicit externals).
+                ext = self.table.ensure(e.name)
+                ext.is_external = True
+                if e.name in INTEGER_RESULT:
+                    ext.type_name = "integer"
+            return A.FuncCall(e.name, args)
+        if isinstance(e, A.Var):
+            self.table.ensure(e.name)
+            return e
+        if isinstance(e, (A.ArrayRef, A.FuncCall)):
+            new_args = [self.expr(a) for a in
+                        (e.subs if isinstance(e, A.ArrayRef) else e.args)]
+            if isinstance(e, A.ArrayRef):
+                return A.ArrayRef(e.name, new_args)
+            return A.FuncCall(e.name, new_args)
+        if isinstance(e, A.UnOp):
+            return A.UnOp(e.op, self.expr(e.operand))
+        if isinstance(e, A.BinOp):
+            return A.BinOp(e.op, self.expr(e.left), self.expr(e.right))
+        if isinstance(e, A.RangeExpr):
+            lo = self.expr(e.lo) if e.lo is not None else None
+            hi = self.expr(e.hi) if e.hi is not None else None
+            return A.RangeExpr(lo, hi)
+        if isinstance(e, A.ImpliedDo):
+            return A.ImpliedDo(
+                items=[self.expr(i) for i in e.items], var=e.var,
+                start=self.expr(e.start), stop=self.expr(e.stop),
+                step=self.expr(e.step) if e.step is not None else None)
+        return e
+
+    def stmts(self, body: list[A.Stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Assign):
+            s.target = self.expr(s.target)
+            s.value = self.expr(s.value)
+            if isinstance(s.target, A.FuncCall):
+                # Assignment to f(...) where f is not an array: in F77 this
+                # can only be the function-result variable or an error.
+                raise SemanticError(
+                    f"assignment to non-array {s.target.name!r} "
+                    f"(line {s.line})")
+        elif isinstance(s, A.DoLoop):
+            self.table.ensure(s.var)
+            s.start = self.expr(s.start)
+            s.stop = self.expr(s.stop)
+            if s.step is not None:
+                s.step = self.expr(s.step)
+            self.stmts(s.body)
+        elif isinstance(s, A.DoWhile):
+            s.cond = self.expr(s.cond)
+            self.stmts(s.body)
+        elif isinstance(s, A.IfBlock):
+            s.arms = [
+                (self.expr(c) if c is not None else None, b)
+                for c, b in s.arms
+            ]
+            for _c, b in s.arms:
+                self.stmts(b)
+        elif isinstance(s, A.LogicalIf):
+            s.cond = self.expr(s.cond)
+            self.stmt(s.stmt)
+        elif isinstance(s, A.CallStmt):
+            s.args = [self.expr(a) for a in s.args]
+        elif isinstance(s, A.ComputedGoto):
+            s.selector = self.expr(s.selector)
+        elif isinstance(s, (A.ReadStmt, A.WriteStmt)):
+            s.items = [self.expr(i) for i in s.items]
+            if s.unit is not None:
+                s.unit = self.expr(s.unit)
+        elif isinstance(s, A.OpenStmt):
+            if s.unit is not None:
+                s.unit = self.expr(s.unit)
+            if s.filename is not None:
+                s.filename = self.expr(s.filename)
+        elif isinstance(s, A.CloseStmt):
+            if s.unit is not None:
+                s.unit = self.expr(s.unit)
+
+
+def resolve_unit(unit: A.ProgramUnit) -> SymbolTable:
+    """Build the symbol table for *unit* and resolve its Apply nodes."""
+    table = build_symbol_table(unit)
+    resolver = _Resolver(table)
+    resolver.stmts(unit.body)
+    unit.symbols = table
+    return table
+
+
+def resolve_compilation_unit(cu: A.CompilationUnit) -> None:
+    """Resolve every unit; also mark called subroutine names as external."""
+    unit_names = {u.name for u in cu.units}
+    for unit in cu.units:
+        table = resolve_unit(unit)
+        for stmt in A.walk_statements(unit.body):
+            if isinstance(stmt, A.CallStmt) and stmt.name in unit_names:
+                sym = table.ensure(stmt.name)
+                sym.is_external = True
+
+
+# Convenience re-export for dataclass field access in tests.
+fields = dataclasses.fields

@@ -1,0 +1,148 @@
+"""Tokenizer for a single Fortran logical line.
+
+Fortran keywords are not reserved words; the parser decides keyword-ness by
+context, so the lexer only produces generic ``NAME`` tokens for identifiers.
+Dot-delimited operators (``.lt.``, ``.and.``, ``.true.``...) are folded into
+canonical symbolic kinds so downstream code never needs to handle both
+spellings of a comparison.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LexError
+
+
+class T(Enum):
+    """Token kinds."""
+
+    NAME = auto()
+    INT = auto()
+    REAL = auto()
+    STRING = auto()
+    # operators / punctuation
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    POWER = auto()
+    CONCAT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    EQUALS = auto()
+    COLON = auto()
+    DOUBLECOLON = auto()
+    PERCENT = auto()
+    # relational
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    EQ = auto()
+    NE = auto()
+    # logical
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    EQV = auto()
+    NEQV = auto()
+    TRUE = auto()
+    FALSE = auto()
+    END = auto()  # end of logical line
+
+
+#: Map from dot-operator spelling (lowercase, without dots) to token kind.
+DOT_OPERATORS = {
+    "lt": T.LT, "le": T.LE, "gt": T.GT, "ge": T.GE,
+    "eq": T.EQ, "ne": T.NE,
+    "and": T.AND, "or": T.OR, "not": T.NOT,
+    "eqv": T.EQV, "neqv": T.NEQV,
+    "true": T.TRUE, "false": T.FALSE,
+}
+
+#: Canonical source spelling for each operator kind (used by the printer).
+OPERATOR_TEXT = {
+    T.PLUS: "+", T.MINUS: "-", T.STAR: "*", T.SLASH: "/", T.POWER: "**",
+    T.CONCAT: "//", T.LT: ".lt.", T.LE: ".le.", T.GT: ".gt.", T.GE: ".ge.",
+    T.EQ: ".eq.", T.NE: ".ne.", T.AND: ".and.", T.OR: ".or.",
+    T.NOT: ".not.", T.EQV: ".eqv.", T.NEQV: ".neqv.",
+}
+
+
+@dataclass
+class Token:
+    """A lexical token with its source column (0-based within the line)."""
+
+    kind: T
+    text: str
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<real>(\d+\.\d*|\.\d+)([edED][+-]?\d+)?|\d+[edED][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<dotop>\.[A-Za-z]+\.)
+  | (?P<name>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<op>\*\*|//|::|<=|>=|==|/=|<|>|[-+*/(),=:%])
+    """,
+    re.VERBOSE,
+)
+
+_SYMBOL_OPS = {
+    "**": T.POWER, "//": T.CONCAT, "::": T.DOUBLECOLON,
+    "<=": T.LE, ">=": T.GE, "==": T.EQ, "/=": T.NE, "<": T.LT, ">": T.GT,
+    "+": T.PLUS, "-": T.MINUS, "*": T.STAR, "/": T.SLASH,
+    "(": T.LPAREN, ")": T.RPAREN, ",": T.COMMA, "=": T.EQUALS,
+    ":": T.COLON, "%": T.PERCENT,
+}
+
+
+def tokenize(text: str, *, filename: str = "<input>",
+             line: int = 0) -> list[Token]:
+    """Tokenize one logical line into a token list ending with an END token.
+
+    A ``.`` between digits was already consumed by the ``real`` pattern, so
+    dot-operators are unambiguous at this point.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise LexError(f"unexpected character {text[pos]!r}",
+                           filename=filename, line=line, column=pos + 1)
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        value = m.group()
+        if m.lastgroup == "real":
+            tokens.append(Token(T.REAL, value, m.start()))
+        elif m.lastgroup == "int":
+            tokens.append(Token(T.INT, value, m.start()))
+        elif m.lastgroup == "dotop":
+            op = value[1:-1].lower()
+            kind = DOT_OPERATORS.get(op)
+            if kind is None:
+                raise LexError(f"unknown operator {value!r}",
+                               filename=filename, line=line,
+                               column=m.start() + 1)
+            tokens.append(Token(kind, value, m.start()))
+        elif m.lastgroup == "name":
+            tokens.append(Token(T.NAME, value, m.start()))
+        elif m.lastgroup == "string":
+            tokens.append(Token(T.STRING, value, m.start()))
+        else:
+            tokens.append(Token(_SYMBOL_OPS[value], value, m.start()))
+    tokens.append(Token(T.END, "", n))
+    return tokens

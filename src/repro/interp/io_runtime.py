@@ -1,0 +1,77 @@
+"""List-directed I/O runtime for interpreted Fortran programs.
+
+Units are in-memory token streams.  The test harness (and the SPMD
+runtime's "rank 0 reads, then broadcasts" transformation) pre-loads unit
+buffers with whitespace-separated numbers; ``write`` collects output lines
+per unit.  Unit 5 is conventional input, unit 6 conventional output
+(``print`` also goes to 6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterpError
+
+
+class IoManager:
+    """In-memory Fortran unit table."""
+
+    def __init__(self) -> None:
+        self._inputs: dict[int, list[str]] = {}
+        self._outputs: dict[int, list[str]] = {}
+        self._files: dict[int, str] = {}
+
+    # -- setup ----------------------------------------------------------------
+
+    def provide_input(self, unit: int, text: str) -> None:
+        """Load list-directed input data for a unit (whitespace separated)."""
+        self._inputs.setdefault(unit, []).extend(text.split())
+
+    def provide_values(self, unit: int, values) -> None:
+        """Load numeric input values for a unit."""
+        self._inputs.setdefault(unit, []).extend(repr(v) for v in values)
+
+    # -- program-visible operations --------------------------------------------
+
+    def open(self, unit: int, filename: str | None) -> None:
+        self._files[unit] = filename or f"unit{unit}"
+        self._inputs.setdefault(unit, [])
+        self._outputs.setdefault(unit, [])
+
+    def close(self, unit: int) -> None:
+        self._files.pop(unit, None)
+
+    def read_value(self, unit: int) -> float | int:
+        queue = self._inputs.get(unit)
+        if not queue:
+            raise InterpError(f"read past end of input on unit {unit}")
+        token = queue.pop(0)
+        try:
+            if any(c in token for c in ".eEdD") and not token.isdigit():
+                return float(token.lower().replace("d", "e"))
+            return int(token)
+        except ValueError as exc:
+            raise InterpError(f"bad input token {token!r} on unit {unit}") from exc
+
+    def write_line(self, unit: int, parts: list) -> None:
+        rendered = " ".join(self._render(p) for p in parts)
+        self._outputs.setdefault(unit, []).append(rendered)
+
+    @staticmethod
+    def _render(value) -> str:
+        if isinstance(value, bool):
+            return "T" if value else "F"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    # -- inspection --------------------------------------------------------------
+
+    def output(self, unit: int = 6) -> str:
+        """All text written to a unit, newline-joined."""
+        return "\n".join(self._outputs.get(unit, []))
+
+    def output_lines(self, unit: int = 6) -> list[str]:
+        return list(self._outputs.get(unit, []))
+
+    def remaining_input(self, unit: int) -> int:
+        return len(self._inputs.get(unit, []))

@@ -1,0 +1,30 @@
+"""Grid partitioning (§4.1): balanced block decomposition of flow fields.
+
+Partitioning serves two goals the paper states: balance computation across
+subtasks and minimize communication between them.  For rectangular
+(transformed) grids both reduce to block decomposition with near-equal
+demarcation lines; :func:`repro.partition.partitioner.choose_partition`
+searches the factorizations of the processor count for the shape with the
+smallest worst-rank communication volume.
+"""
+
+from repro.partition.grid import GridGeometry, Subgrid, split_extent
+from repro.partition.partitioner import (
+    Partition,
+    choose_partition,
+    communication_volume,
+    factorizations,
+)
+from repro.partition.halo import GhostSpec, ghost_bounds
+
+__all__ = [
+    "GridGeometry",
+    "Subgrid",
+    "split_extent",
+    "Partition",
+    "choose_partition",
+    "communication_volume",
+    "factorizations",
+    "GhostSpec",
+    "ghost_bounds",
+]

@@ -1,0 +1,71 @@
+"""Ghost-layer geometry: sizing local arrays for a partitioned grid.
+
+Given a status array's dimension map and the per-grid-dim dependency
+distances, :func:`ghost_bounds` computes the local declaration bounds of
+the array for one rank: the owned range extended by the ghost width on
+each cut side, clamped to the global extent on physical boundaries (the
+restructurer's "redefining the sizes of arrays" step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.partition.partitioner import Partition
+
+
+@dataclass(frozen=True)
+class GhostSpec:
+    """Ghost widths for one array: per grid dim, (minus, plus)."""
+
+    widths: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def uniform(cls, ndims: int, width: int) -> "GhostSpec":
+        return cls(tuple((width, width) for _ in range(ndims)))
+
+    def width(self, dim: int) -> tuple[int, int]:
+        return self.widths[dim]
+
+
+def ghost_bounds(partition: Partition, rank: int,
+                 dim_map: tuple[int | None, ...],
+                 original_bounds: list[tuple[int, int]],
+                 ghosts: GhostSpec) -> list[tuple[int, int]]:
+    """Local declaration bounds for one array on one rank.
+
+    Args:
+        partition: the grid partition.
+        rank: owning rank.
+        dim_map: array dim -> grid dim (None = extended dim, kept as-is).
+        original_bounds: the sequential declaration's (lo, hi) per array
+            dim (numeric).
+        ghosts: ghost widths per grid dim.
+
+    Returns inclusive (lo, hi) bounds per array dimension, in global
+    coordinates (the local array indexes exactly like the global one).
+    """
+    if len(dim_map) != len(original_bounds):
+        raise PartitionError("dim_map rank mismatch with bounds")
+    sub = partition.subgrid(rank)
+    out: list[tuple[int, int]] = []
+    for adim, g in enumerate(dim_map):
+        orig_lo, orig_hi = original_bounds[adim]
+        if g is None:
+            out.append((orig_lo, orig_hi))
+            continue
+        own_lo, own_hi = sub.owned[g]
+        w_minus, w_plus = ghosts.width(g)
+        # Ranks on a physical boundary own the array's full padding there
+        # (declarations like v(0:n+1) pad the grid with boundary cells).
+        if own_lo == 1:
+            lo = orig_lo
+        else:
+            lo = max(orig_lo, own_lo - w_minus)
+        if own_hi == partition.grid.shape[g]:
+            hi = orig_hi
+        else:
+            hi = min(orig_hi, own_hi + w_plus)
+        out.append((lo, hi))
+    return out

@@ -1,0 +1,38 @@
+"""In-process message-passing runtime (the cluster substrate).
+
+The paper ran generated programs over PVM/MPI on a 6-node Pentium cluster.
+No MPI implementation is available here, so this package provides a
+from-scratch MPI-like runtime executing SPMD rank functions on threads:
+
+* :func:`repro.runtime.world.spmd_run` — launch ``P`` ranks;
+* :class:`repro.runtime.comm.Communicator` — point-to-point
+  (send/recv/isend/irecv/sendrecv) and collectives (barrier, bcast,
+  reduce, allreduce, gather, allgather, scatter);
+* :class:`repro.runtime.cart.CartComm` — Cartesian topology with shifts;
+* :class:`repro.runtime.halo.HaloExchanger` — aggregated ghost-cell
+  exchange for a set of status arrays (the runtime realisation of the
+  paper's combined synchronizations);
+* :class:`repro.runtime.trace.Trace` — per-rank message/sync counters used
+  to cross-check the compiler's predicted synchronization counts.
+
+Numpy payloads are copied on send, so the shared-memory transport cannot
+alias buffers — semantics match a real distributed-memory network.
+"""
+
+from repro.runtime.comm import Communicator, Request
+from repro.runtime.world import spmd_run, World
+from repro.runtime.cart import CartComm
+from repro.runtime.halo import HaloExchanger, HaloSpec
+from repro.runtime.trace import Trace, TraceEvent
+
+__all__ = [
+    "Communicator",
+    "Request",
+    "World",
+    "spmd_run",
+    "CartComm",
+    "HaloExchanger",
+    "HaloSpec",
+    "Trace",
+    "TraceEvent",
+]

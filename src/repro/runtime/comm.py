@@ -1,0 +1,325 @@
+"""Point-to-point and collective communication over in-process mailboxes.
+
+Semantics follow MPI closely enough for generated SPMD programs:
+
+* ``send`` is buffered (returns immediately; payload deep-copied so the
+  sender can reuse its buffer — exactly the guarantee MPI's buffered mode
+  gives and what halo-exchange codes assume);
+* ``recv`` blocks until a matching ``(source, tag)`` message arrives,
+  with a watchdog timeout so broken programs fail loudly instead of
+  hanging the test suite;
+* collectives are built from point-to-point fan-in/fan-out on a reserved
+  tag space; every rank must call them in the same order (as in MPI).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RuntimeCommError
+from repro.runtime.trace import Trace, TraceEvent
+
+#: Collective operations reserve tags at and above this value.
+_COLLECTIVE_TAG_BASE = 1 << 20
+
+#: Reduction operators.
+REDUCE_OPS = {
+    "sum": lambda a, b: a + b,
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+    "prod": lambda a, b: a * b,
+}
+
+
+def _payload_bytes(obj) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(o) for o in obj)
+    if isinstance(obj, (int, float, bool, np.generic)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(v) for v in obj.values())
+    return 8
+
+
+def _copy_payload(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, list):
+        return [_copy_payload(o) for o in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(o) for o in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: object
+
+
+class _Mailbox:
+    """Per-rank incoming message store with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._messages: deque[_Message] = deque()
+
+    def put(self, message: _Message) -> None:
+        with self._cond:
+            self._messages.append(message)
+            self._cond.notify_all()
+
+    def _find(self, source: int | None, tag: int | None) -> _Message | None:
+        for i, msg in enumerate(self._messages):
+            if (source is None or msg.source == source) and \
+                    (tag is None or msg.tag == tag):
+                del self._messages[i]
+                return msg
+        return None
+
+    def get(self, source: int | None, tag: int | None, timeout: float,
+            failed: threading.Event) -> _Message:
+        deadline = None if timeout is None else timeout
+        waited = 0.0
+        with self._cond:
+            while True:
+                msg = self._find(source, tag)
+                if msg is not None:
+                    return msg
+                if failed.is_set():
+                    raise RuntimeCommError(
+                        "another rank failed while this rank was receiving")
+                self._cond.wait(0.05)
+                waited += 0.05
+                if deadline is not None and waited >= deadline:
+                    raise RuntimeCommError(
+                        f"recv timeout after {timeout}s waiting for "
+                        f"source={source} tag={tag} — likely deadlock")
+
+    def probe(self, source: int | None, tag: int | None) -> bool:
+        with self._cond:
+            return any(
+                (source is None or m.source == source)
+                and (tag is None or m.tag == tag)
+                for m in self._messages)
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+        self._done = False
+        self._result = None
+
+    def wait(self):
+        """Complete the operation; returns the received object for irecv."""
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result
+
+    def test(self) -> bool:
+        """Non-blocking completion check (always completes sends)."""
+        if self._done:
+            return True
+        try:
+            return self.wait() is not None or True
+        except RuntimeCommError:
+            return False
+
+
+class Communicator:
+    """One rank's endpoint in a world of ``size`` ranks."""
+
+    def __init__(self, rank: int, size: int, mailboxes: list[_Mailbox],
+                 barrier: threading.Barrier, trace: Trace,
+                 failed: threading.Event, timeout: float = 60.0) -> None:
+        self.rank = rank
+        self.size = size
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+        self._trace = trace
+        self._failed = failed
+        self._timeout = timeout
+        self._collective_seq = 0
+
+    # -- point-to-point --------------------------------------------------------
+
+    def send(self, dest: int, obj, tag: int = 0) -> None:
+        """Buffered send: copies *obj* and returns immediately."""
+        self._check_rank(dest)
+        payload = _copy_payload(obj)
+        self._trace.record(TraceEvent(self.rank, "send", dest,
+                                      _payload_bytes(obj), tag))
+        self._mailboxes[dest].put(_Message(self.rank, tag, payload))
+
+    def recv(self, source: int | None = None, tag: int | None = None):
+        """Blocking receive; ``None`` matches any source / any tag."""
+        if source is not None:
+            self._check_rank(source)
+        msg = self._mailboxes[self.rank].get(source, tag, self._timeout,
+                                             self._failed)
+        self._trace.record(TraceEvent(self.rank, "recv", msg.source,
+                                      _payload_bytes(msg.payload), msg.tag))
+        return msg.payload
+
+    def isend(self, dest: int, obj, tag: int = 0) -> Request:
+        self.send(dest, obj, tag)
+        return Request(lambda: None)
+
+    def irecv(self, source: int | None = None, tag: int | None = None) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def sendrecv(self, dest: int, obj, source: int | None = None,
+                 send_tag: int = 0, recv_tag: int | None = None):
+        """Combined send+recv (deadlock-free for neighbor exchange)."""
+        self.send(dest, obj, send_tag)
+        return self.recv(source, recv_tag if recv_tag is not None else send_tag)
+
+    def probe(self, source: int | None = None, tag: int | None = None) -> bool:
+        return self._mailboxes[self.rank].probe(source, tag)
+
+    # -- collectives --------------------------------------------------------------
+
+    def _next_collective_tag(self) -> int:
+        self._collective_seq += 1
+        return _COLLECTIVE_TAG_BASE + self._collective_seq
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self._trace.record(TraceEvent(self.rank, "barrier", None, 0))
+        try:
+            self._barrier.wait(timeout=self._timeout)
+        except threading.BrokenBarrierError as exc:
+            raise RuntimeCommError("barrier broken (a rank died or timed "
+                                   "out)") from exc
+
+    def bcast(self, obj=None, root: int = 0):
+        """Broadcast from *root*; all ranks return the object."""
+        tag = self._next_collective_tag()
+        self._trace.record(TraceEvent(self.rank, "bcast", root,
+                                      _payload_bytes(obj) if obj is not None
+                                      else 0))
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    payload = _copy_payload(obj)
+                    self._mailboxes[dest].put(_Message(self.rank, tag, payload))
+            return obj
+        msg = self._mailboxes[self.rank].get(root, tag, self._timeout,
+                                             self._failed)
+        return msg.payload
+
+    def reduce(self, value, op: str = "sum", root: int = 0):
+        """Reduce to *root*; other ranks return None."""
+        reducer = self._op(op)
+        tag = self._next_collective_tag()
+        self._trace.record(TraceEvent(self.rank, "reduce", root,
+                                      _payload_bytes(value)))
+        if self.rank == root:
+            acc = _copy_payload(value)
+            for _ in range(self.size - 1):
+                msg = self._mailboxes[self.rank].get(None, tag,
+                                                     self._timeout,
+                                                     self._failed)
+                acc = reducer(acc, msg.payload)
+            return acc
+        self._mailboxes[root].put(
+            _Message(self.rank, tag, _copy_payload(value)))
+        return None
+
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce + broadcast; all ranks return the reduced value."""
+        reducer = self._op(op)
+        tag = self._next_collective_tag()
+        down_tag = tag + (1 << 19)  # disjoint from every up-phase tag
+        self._trace.record(TraceEvent(self.rank, "allreduce", None,
+                                      _payload_bytes(value)))
+        root = 0
+        if self.rank == root:
+            acc = _copy_payload(value)
+            for _ in range(self.size - 1):
+                msg = self._mailboxes[self.rank].get(None, tag,
+                                                     self._timeout,
+                                                     self._failed)
+                acc = reducer(acc, msg.payload)
+            for dest in range(1, self.size):
+                self._mailboxes[dest].put(
+                    _Message(root, down_tag, _copy_payload(acc)))
+            return acc
+        self._mailboxes[root].put(
+            _Message(self.rank, tag, _copy_payload(value)))
+        msg = self._mailboxes[self.rank].get(root, down_tag, self._timeout,
+                                             self._failed)
+        return msg.payload
+
+    def gather(self, value, root: int = 0):
+        """Gather to *root* (list indexed by rank); others return None."""
+        tag = self._next_collective_tag()
+        self._trace.record(TraceEvent(self.rank, "gather", root,
+                                      _payload_bytes(value)))
+        if self.rank == root:
+            out: list = [None] * self.size
+            out[root] = _copy_payload(value)
+            for _ in range(self.size - 1):
+                msg = self._mailboxes[self.rank].get(None, tag,
+                                                     self._timeout,
+                                                     self._failed)
+                out[msg.source] = msg.payload
+            return out
+        self._mailboxes[root].put(
+            _Message(self.rank, tag, _copy_payload(value)))
+        return None
+
+    def allgather(self, value) -> list:
+        """Gather + broadcast."""
+        gathered = self.gather(value, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, values=None, root: int = 0):
+        """Scatter a per-rank list from *root*."""
+        tag = self._next_collective_tag()
+        self._trace.record(TraceEvent(self.rank, "scatter", root, 0))
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise RuntimeCommError(
+                    "scatter root needs one value per rank")
+            for dest in range(self.size):
+                if dest != root:
+                    self._mailboxes[dest].put(
+                        _Message(root, tag, _copy_payload(values[dest])))
+            return values[root]
+        msg = self._mailboxes[self.rank].get(root, tag, self._timeout,
+                                             self._failed)
+        return msg.payload
+
+    # -- misc -------------------------------------------------------------------------
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise RuntimeCommError(f"rank {rank} out of range "
+                                   f"[0, {self.size})")
+
+    @staticmethod
+    def _op(op: str):
+        try:
+            return REDUCE_OPS[op]
+        except KeyError:
+            raise RuntimeCommError(
+                f"unknown reduction {op!r}; known: {sorted(REDUCE_OPS)}")

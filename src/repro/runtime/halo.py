@@ -1,0 +1,156 @@
+"""Aggregated halo (ghost-cell) exchange for partitioned status arrays.
+
+One :class:`HaloExchanger` realises one *combined synchronization point*
+from the pre-compiler: all status arrays that the combined point covers are
+packed into **one message per neighbor** — the paper's "corresponding
+communications are aggregated" (§5.1.2).
+
+Geometry convention: each rank owns an inclusive global index range per
+grid dimension; its local arrays are declared with ghost layers around the
+owned block (the restructurer sizes them), so sections can be addressed in
+*global* Fortran coordinates throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RuntimeCommError
+from repro.interp.values import OffsetArray
+from repro.runtime.cart import CartComm
+from repro.runtime.trace import TraceEvent
+
+#: Tag space for halo messages: tag = base + dim * 4 + (direction + 1).
+_HALO_TAG_BASE = 1 << 16
+
+
+@dataclass
+class HaloSpec:
+    """One array's participation in a halo exchange.
+
+    Attributes:
+        array: the local (ghosted) array, indexed in global coordinates.
+        dim_map: per array-dimension: which grid dimension it carries, or
+            ``None`` for extended (packed/status-count) dimensions.
+        owned: inclusive global (lo, hi) owned range per *grid* dimension.
+        dist: per grid dimension, (minus, plus) ghost widths — how far
+            references reach in each direction (dependency distance).
+    """
+
+    array: OffsetArray
+    dim_map: tuple[int | None, ...]
+    owned: tuple[tuple[int, int], ...]
+    dist: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dim_map) != self.array.rank:
+            raise RuntimeCommError(
+                f"halo spec for {self.array.name!r}: dim_map rank mismatch")
+
+    def _ranges(self, grid_dim: int,
+                face_range: tuple[int, int]) -> list[tuple[int, int]]:
+        """Full-array section ranges with *grid_dim* restricted to a face."""
+        ranges: list[tuple[int, int]] = []
+        for adim in range(self.array.rank):
+            g = self.dim_map[adim]
+            if g == grid_dim:
+                ranges.append(face_range)
+            elif g is not None:
+                # other partitioned dims: owned range only (corners are not
+                # needed by 5/9-point star stencils along one axis at a time;
+                # 9-point corner values travel via the two-phase exchange
+                # order: dim 0 first including ghosts, then dim 1)
+                lo, hi = self.owned[g]
+                d_lo, d_hi = self.dist[g]
+                blo, bhi = self.array.bounds[adim]
+                ranges.append((max(blo, lo - d_lo), min(bhi, hi + d_hi)))
+            else:
+                ranges.append(self.array.bounds[adim])
+        return ranges
+
+    def send_section(self, grid_dim: int, direction: int) -> np.ndarray:
+        """Owned face layers to ship to the neighbor in *direction*."""
+        lo, hi = self.owned[grid_dim]
+        d_minus, d_plus = self.dist[grid_dim]
+        if direction > 0:
+            width = d_minus  # neighbor's minus-side ghost width
+            face = (hi - width + 1, hi)
+        else:
+            width = d_plus
+            face = (lo, lo + width - 1)
+        if width == 0:
+            return np.empty(0)
+        return self.array.section(self._ranges(grid_dim, face)).copy()
+
+    def recv_ranges(self, grid_dim: int, direction: int) -> list[tuple[int, int]] | None:
+        """Ghost section ranges filled from the neighbor in *direction*."""
+        lo, hi = self.owned[grid_dim]
+        d_minus, d_plus = self.dist[grid_dim]
+        if direction > 0:
+            if d_plus == 0:
+                return None
+            face = (hi + 1, hi + d_plus)
+        else:
+            if d_minus == 0:
+                return None
+            face = (lo - d_minus, lo - 1)
+        return self._ranges(grid_dim, face)
+
+
+class HaloExchanger:
+    """Exchanges ghost layers for a set of arrays over a Cartesian comm."""
+
+    def __init__(self, cart: CartComm, specs: list[HaloSpec],
+                 point_id: int = 0) -> None:
+        self.cart = cart
+        self.specs = specs
+        self.point_id = point_id
+
+    def exchange(self) -> None:
+        """One aggregated exchange: one message per neighbor, all arrays.
+
+        Dimensions are exchanged in order; each later dimension's sections
+        include the ghost layers already received for earlier dimensions,
+        which transports the diagonal (corner) values nine-point stencils
+        need without dedicated corner messages.
+        """
+        comm = self.cart.comm
+        comm.trace.record(TraceEvent(comm.rank, "exchange", None, 0,
+                                     self.point_id))
+        for dim in range(self.cart.ndims):
+            sends: list[tuple[int, int, list[np.ndarray]]] = []
+            recvs: list[tuple[int, int]] = []
+            for direction in (-1, 1):
+                neighbor = self.cart.neighbor(dim, direction)
+                if neighbor is None:
+                    continue
+                payload = [spec.send_section(dim, direction)
+                           for spec in self.specs]
+                sends.append((neighbor, direction, payload))
+                recvs.append((neighbor, direction))
+            for neighbor, direction, payload in sends:
+                tag = (_HALO_TAG_BASE + self.point_id * 64
+                       + dim * 4 + (direction + 1))
+                comm.send(neighbor, payload, tag)
+            for neighbor, direction in recvs:
+                # our ghosts on side `direction` come from that neighbor's
+                # send in direction `-direction`; it used its own direction
+                # value in the tag.
+                tag = (_HALO_TAG_BASE + self.point_id * 64
+                       + dim * 4 + (-direction + 1))
+                payload = comm.recv(neighbor, tag)
+                self._unpack(dim, direction, payload)
+
+    def _unpack(self, dim: int, direction: int,
+                payload: list[np.ndarray]) -> None:
+        if len(payload) != len(self.specs):
+            raise RuntimeCommError(
+                f"halo message carries {len(payload)} sections for "
+                f"{len(self.specs)} arrays")
+        for spec, section in zip(self.specs, payload):
+            ranges = spec.recv_ranges(dim, direction)
+            if ranges is None:
+                continue
+            spec.array.set_section(ranges, section)

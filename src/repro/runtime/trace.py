@@ -1,0 +1,68 @@
+"""Event tracing for the message-passing runtime.
+
+Every send, receive, barrier, collective, and halo exchange is recorded
+with its payload size.  The test suite uses traces to assert that the
+number of synchronizations the *runtime actually performs* per frame equals
+the number the *pre-compiler predicted* after optimization (Table 1's
+"after" column), and the benchmark harness feeds traces to the cluster
+simulator.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One runtime communication event."""
+
+    rank: int
+    kind: str  # send | recv | bcast | reduce | allreduce | barrier |
+    #            gather | scatter | allgather | exchange | pipeline_recv |
+    #            pipeline_send
+    peer: int | None
+    nbytes: int
+    tag: int | None = None
+
+
+@dataclass
+class Trace:
+    """Thread-safe event collector shared by all ranks of a world."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record(self, event: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, kind: str, rank: int | None = None) -> int:
+        """Number of events of *kind* (optionally for one rank)."""
+        return sum(1 for e in self.events
+                   if e.kind == kind and (rank is None or e.rank == rank))
+
+    def bytes_sent(self, rank: int | None = None) -> int:
+        """Total payload bytes sent (point-to-point sends only)."""
+        return sum(e.nbytes for e in self.events
+                   if e.kind in ("send", "pipeline_send")
+                   and (rank is None or e.rank == rank))
+
+    def sync_count(self, rank: int | None = None) -> int:
+        """Synchronization operations: exchanges, barriers, reductions."""
+        kinds = ("exchange", "barrier", "allreduce", "reduce", "bcast")
+        return sum(1 for e in self.events
+                   if e.kind in kinds and (rank is None or e.rank == rank))
+
+    def messages(self, rank: int | None = None) -> list[TraceEvent]:
+        return [e for e in self.events
+                if e.kind in ("send", "pipeline_send")
+                and (rank is None or e.rank == rank)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()

@@ -1,0 +1,78 @@
+"""SPMD world launcher: run one function per rank on threads.
+
+The launcher creates the shared mailboxes, a world barrier, and a trace,
+then runs ``fn(comm)`` for every rank.  If any rank raises, the failure is
+propagated: all other ranks are woken (their receives raise), and the first
+exception is re-raised in the caller with rank attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeCommError
+from repro.runtime.comm import Communicator, _Mailbox
+from repro.runtime.trace import Trace
+
+
+@dataclass
+class World:
+    """A launched SPMD world; holds results and the message trace."""
+
+    size: int
+    results: list = field(default_factory=list)
+    trace: Trace = field(default_factory=Trace)
+
+
+def spmd_run(size: int, fn, *, timeout: float = 60.0,
+             trace: Trace | None = None) -> World:
+    """Run ``fn(comm)`` on *size* ranks and return the finished world.
+
+    Args:
+        size: number of ranks.
+        fn: rank body; receives a :class:`Communicator`.  Its return value
+            is collected into ``world.results[rank]``.
+        timeout: per-receive watchdog (seconds).
+        trace: optional shared trace (a fresh one is created if omitted).
+
+    Raises:
+        RuntimeCommError: wrapping the first rank failure.
+    """
+    if size < 1:
+        raise RuntimeCommError(f"world size must be >= 1, got {size}")
+    world = World(size=size, trace=trace if trace is not None else Trace())
+    world.results = [None] * size
+    mailboxes = [_Mailbox() for _ in range(size)]
+    barrier = threading.Barrier(size)
+    failed = threading.Event()
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        comm = Communicator(rank, size, mailboxes, barrier, world.trace,
+                            failed, timeout)
+        try:
+            world.results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - must propagate all
+            with errors_lock:
+                errors.append((rank, exc))
+            failed.set()
+            barrier.abort()
+
+    threads = [threading.Thread(target=body, args=(rank,),
+                                name=f"spmd-rank-{rank}", daemon=True)
+               for rank in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        # report the root cause: a non-communication error beats the
+        # cascade failures (broken barriers, watchdog trips) it triggered
+        errors.sort(key=lambda e: (isinstance(e[1], RuntimeCommError), e[0]))
+        rank, exc = errors[0]
+        raise RuntimeCommError(
+            f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
+    return world

@@ -1,0 +1,107 @@
+"""Calibration utility: fit the machine model to published measurements.
+
+The benchmarks calibrate frame counts to the paper's sequential seconds;
+this module goes further and searches machine/network parameters to match
+a set of (partition, speedup) observations — the workflow used to derive
+``benchmarks/machine.py`` and a tool downstream users can apply to their
+own cluster measurements.
+
+The search is a plain grid sweep (the spaces are tiny and the objective
+is cheap); the score is the sum of squared log-ratio errors between
+simulated and target speedups, so a 2x overshoot costs the same as a 2x
+undershoot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.codegen.plan import ParallelPlan
+from repro.simulate.cluster import ClusterSim
+from repro.simulate.machine import MachineModel, NodeModel
+from repro.simulate.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured data point: a partition and its observed speedup."""
+
+    partition: tuple[int, ...]
+    speedup: float
+
+
+@dataclass
+class CalibrationResult:
+    """Best parameters found and their fit quality."""
+
+    machine: MachineModel
+    network: NetworkModel
+    chunks: int
+    error: float
+    #: per observation: (partition, target, achieved)
+    fits: list[tuple[tuple[int, ...], float, float]] = field(
+        default_factory=list)
+
+    def summary(self) -> str:
+        lines = [
+            f"calibration error {self.error:.4f} "
+            f"(flop {self.machine.node.flop_time * 1e9:.0f} ns, "
+            f"latency {self.network.latency * 1e3:.1f} ms, "
+            f"bandwidth {self.network.bandwidth / 1e6:.2f} MB/s, "
+            f"chunks {self.chunks})"
+        ]
+        for part, target, got in self.fits:
+            lines.append(f"  {'x'.join(map(str, part)):>8s}: target "
+                         f"{target:.2f}, simulated {got:.2f}")
+        return "\n".join(lines)
+
+
+def score(plans: dict[tuple[int, ...], ParallelPlan],
+          seq_plan: ParallelPlan,
+          observations: list[Observation],
+          machine: MachineModel, network: NetworkModel,
+          chunks: int, frames: int = 40) -> tuple[float, list]:
+    """Fit error of one parameter set against the observations."""
+    t_seq = ClusterSim(seq_plan, machine, network, chunks).run(
+        frames).total_time
+    error = 0.0
+    fits = []
+    for obs in observations:
+        sim = ClusterSim(plans[obs.partition], machine, network, chunks)
+        achieved = t_seq / sim.run(frames).total_time
+        error += math.log(achieved / obs.speedup) ** 2
+        fits.append((obs.partition, obs.speedup, achieved))
+    return error, fits
+
+
+def calibrate(plans: dict[tuple[int, ...], ParallelPlan],
+              seq_plan: ParallelPlan,
+              observations: list[Observation],
+              flop_times=(2e-8, 5e-8, 1e-7),
+              latencies=(5e-4, 1e-3, 2e-3, 4e-3),
+              bandwidths=(0.4e6, 0.8e6, 1.25e6),
+              chunk_options=(1, 2, 4, 8),
+              frames: int = 40) -> CalibrationResult:
+    """Grid-search the model space; returns the best-fitting parameters.
+
+    Args:
+        plans: compiled plan per observed partition.
+        seq_plan: the single-processor plan (speedup baseline).
+        observations: measured (partition, speedup) pairs.
+        flop_times, latencies, bandwidths, chunk_options: search space.
+        frames: frames per simulation probe.
+    """
+    best: CalibrationResult | None = None
+    for ft, lat, bw, ch in itertools.product(flop_times, latencies,
+                                             bandwidths, chunk_options):
+        machine = MachineModel(NodeModel(flop_time=ft))
+        network = NetworkModel(latency=lat, bandwidth=bw,
+                               shared_medium=True)
+        error, fits = score(plans, seq_plan, observations, machine,
+                            network, ch, frames)
+        if best is None or error < best.error:
+            best = CalibrationResult(machine, network, ch, error, fits)
+    assert best is not None
+    return best

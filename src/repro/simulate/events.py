@@ -1,0 +1,58 @@
+"""A small discrete-event engine.
+
+Generic priority-queue scheduling with stable ordering for simultaneous
+events.  The cluster simulator uses it to order message deliveries and
+phase completions; it is also exercised directly by unit tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule *action* at absolute *time* (must not be in the past)."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, _Entry(time, self._seq, action))
+
+    def after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule *action* *delay* time units from now."""
+        self.schedule(self.now + delay, action)
+
+    def run(self, max_events: int | None = None) -> float:
+        """Process events until the queue drains; returns the final time."""
+        while self._heap:
+            if max_events is not None and self.processed >= max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events})")
+            entry = heapq.heappop(self._heap)
+            self.now = entry.time
+            self.processed += 1
+            entry.action()
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,25 @@
+"""Synchronization placement and optimization (paper §5).
+
+Pipeline: each dependent pair from S_LDP gets an **upper-bound
+synchronization region** (:mod:`repro.sync.regions` — starting-point
+hoisting per Fig. 5, branch rules per Fig. 7, interprocedural hoisting per
+Fig. 8 via the inlined frame program); overlapping regions are then merged
+by the **minimum-intersection combining algorithm**
+(:mod:`repro.sync.combine`, Fig. 6), producing one aggregated
+synchronization point per group.
+"""
+
+from repro.sync.regions import SyncRegion, upper_bound_region
+from repro.sync.combine import CombinedSync, combine_regions
+from repro.sync.branches import truncate_for_branches
+from repro.sync.interproc import subtree_has_rtype, subtree_has_rtype_after
+
+__all__ = [
+    "SyncRegion",
+    "upper_bound_region",
+    "CombinedSync",
+    "combine_regions",
+    "truncate_for_branches",
+    "subtree_has_rtype",
+    "subtree_has_rtype_after",
+]

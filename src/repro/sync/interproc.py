@@ -1,0 +1,46 @@
+"""Interprocedural region hoisting predicates (§5.3).
+
+When the starting point of a synchronization region reaches the end of an
+inlined subroutine body, §5.3 allows moving it out to the caller —
+*unless* an R-type loop (of the dependent array) remains to be executed.
+Because the frame program is fully inlined, these predicates reduce to
+subtree queries over instance nodes; hoisting itself is uniform with the
+loop and branch cases in :mod:`repro.sync.regions`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.field_loops import LoopRole
+from repro.analysis.frame import InstanceNode
+
+
+def _is_rtype(node: InstanceNode, array: str) -> bool:
+    return (node.field_loop is not None
+            and node.field_loop.role(array) in (LoopRole.R, LoopRole.C))
+
+
+def _subtree(node: InstanceNode):
+    for child in node.children:
+        yield child
+        yield from _subtree(child)
+
+
+def subtree_has_rtype(node: InstanceNode, array: str) -> bool:
+    """Any R-type loop (w.r.t. *array*) anywhere inside *node*?
+
+    Used for loop containers: a loop iterates, so an R-type loop textually
+    *before* the region start still runs after it on the next iteration.
+    """
+    return any(_is_rtype(n, array) for n in _subtree(node))
+
+
+def subtree_has_rtype_after(node: InstanceNode, slot: int,
+                            array: str) -> bool:
+    """Any R-type loop inside *node* that starts at or after *slot*?
+
+    Used for non-iterating containers (subroutine call instances, IF
+    arms): only readers still ahead of the starting point pin the region
+    inside.
+    """
+    return any(_is_rtype(n, array) and n.open >= slot
+               for n in _subtree(node))

@@ -1,0 +1,99 @@
+"""Call-graph utilities for interprocedural analysis."""
+
+from repro.analysis.callgraph import (
+    build_call_graph,
+    unit_has_rtype_loop,
+)
+from repro.analysis.field_loops import classify_unit
+from repro.fortran.parser import parse_source
+
+SRC = """\
+!$acfd status v
+!$acfd grid 8 8
+program p
+  real v(8, 8)
+  common /f/ v
+  call top()
+end
+subroutine top()
+  call writer()
+  call reader()
+end
+subroutine writer()
+  integer i, j
+  common /f/ v(8, 8)
+  real v
+  do i = 1, 8
+    do j = 1, 8
+      v(i, j) = 1.0
+    end do
+  end do
+end
+subroutine reader()
+  integer i, j
+  common /f/ v(8, 8)
+  real v
+  do i = 2, 7
+    do j = 2, 7
+      x = v(i - 1, j)
+    end do
+  end do
+end
+"""
+
+
+def setup():
+    cu = parse_source(SRC)
+    graph = build_call_graph(cu)
+    classifications = {u.name: classify_unit(u, cu.directives)
+                       for u in cu.units}
+    return cu, graph, classifications
+
+
+class TestGraph:
+    def test_edges(self):
+        _, graph, _ = setup()
+        assert graph.callees("p") == {"top"}
+        assert graph.callees("top") == {"writer", "reader"}
+        assert graph.callees("reader") == set()
+
+    def test_transitive(self):
+        _, graph, _ = setup()
+        assert graph.transitive_callees("p") == {"top", "writer", "reader"}
+
+    def test_no_recursion(self):
+        _, graph, _ = setup()
+        assert not graph.has_recursion()
+
+    def test_recursion_detected(self):
+        cu = parse_source(
+            "program p\ncall a()\nend\nsubroutine a()\ncall b()\nend\n"
+            "subroutine b()\ncall a()\nend\n")
+        assert build_call_graph(cu).has_recursion()
+
+    def test_call_sites(self):
+        _, graph, _ = setup()
+        assert len(graph.call_sites("top")) == 2
+
+    def test_unknown_callee_ignored(self):
+        cu = parse_source("program p\ncall mylib()\nend\n")
+        graph = build_call_graph(cu)
+        assert graph.callees("p") == set()
+
+
+class TestRTypePredicate:
+    def test_reader_has_rtype(self):
+        _, graph, cls = setup()
+        assert unit_has_rtype_loop(cls["reader"], graph, cls, "v")
+
+    def test_writer_has_no_rtype(self):
+        _, graph, cls = setup()
+        assert not unit_has_rtype_loop(cls["writer"], graph, cls, "v")
+
+    def test_transitive_through_top(self):
+        _, graph, cls = setup()
+        assert unit_has_rtype_loop(cls["top"], graph, cls, "v")
+
+    def test_any_array_mode(self):
+        _, graph, cls = setup()
+        assert unit_has_rtype_loop(cls["p"], graph, cls, None)

@@ -1,0 +1,292 @@
+"""S_LDP construction: pair kinds, distances, kills, partition filtering."""
+
+from repro.analysis.dependency import build_sldp
+from repro.analysis.frame import build_frame_program
+from repro.fortran.parser import parse_source
+
+
+def pairs_of(src: str, eliminate=True):
+    frame = build_frame_program(parse_source(src))
+    return frame, build_sldp(frame, eliminate_redundant=eliminate)
+
+
+BASIC = """\
+!$acfd status v, w
+!$acfd grid 10 10
+!$acfd frame it
+program p
+  integer i, j, it
+  real v(10, 10), w(10, 10)
+  do it = 1, 5
+    do i = 2, 9
+      do j = 2, 9
+        v(i, j) = float(i)
+      end do
+    end do
+    do i = 2, 9
+      do j = 2, 9
+        w(i, j) = v(i - 1, j) + v(i + 1, j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+class TestForwardPairs:
+    def test_forward_pair_found(self):
+        _, pairs = pairs_of(BASIC)
+        fwd = [p for p in pairs if p.kind == "forward" and p.array == "v"]
+        assert len(fwd) == 1
+        assert fwd[0].distances[0] == (1, 1)
+        assert fwd[0].distances.get(1, (0, 0)) == (0, 0)
+
+    def test_carried_pair_found(self):
+        _, pairs = pairs_of(BASIC)
+        carried = [p for p in pairs if p.kind == "carried"
+                   and p.array == "v" and not p.self_pair]
+        # reader (loop 2) textually after writer => the reverse direction
+        # (writer after reader) is carried by the frame loop... here the
+        # writer IS before the reader, so the carried pair is
+        # reader-of-next-frame: none for v besides forward.  w has no
+        # readers at all.
+        assert carried == []
+
+    def test_no_pair_for_unread_array(self):
+        _, pairs = pairs_of(BASIC)
+        assert not [p for p in pairs if p.array == "w"]
+
+
+CARRIED = """\
+!$acfd status v
+!$acfd grid 10 10
+!$acfd frame it
+program p
+  integer i, j, it
+  real v(10, 10)
+  do it = 1, 5
+    do i = 2, 9
+      do j = 2, 9
+        x = v(i - 1, j) * 0.5
+      end do
+    end do
+    do i = 2, 9
+      do j = 2, 9
+        v(i, j) = float(it)
+      end do
+    end do
+  end do
+end
+"""
+
+
+class TestCarriedPairs:
+    def test_writer_after_reader_is_carried(self):
+        frame, pairs = pairs_of(CARRIED)
+        assert len(pairs) == 1
+        p = pairs[0]
+        assert p.kind == "carried"
+        assert p.carrier is not None
+        assert p.carrier.stmt.var == "it"
+
+    def test_no_common_loop_no_pair(self):
+        src = """\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      x = v(i - 1, j)
+    end do
+  end do
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = 1.0
+    end do
+  end do
+end
+"""
+        _, pairs = pairs_of(src)
+        assert pairs == []
+
+
+SELF = """\
+!$acfd status v
+!$acfd grid 10 10
+!$acfd frame it
+program p
+  integer i, j, it
+  real v(10, 10)
+  do it = 1, 5
+    do i = 2, 9
+      do j = 2, 9
+        v(i, j) = v(i - 1, j) + v(i + 1, j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+class TestSelfPairs:
+    def test_self_pair_flagged(self):
+        _, pairs = pairs_of(SELF)
+        self_pairs = [p for p in pairs if p.self_pair]
+        assert len(self_pairs) == 1
+        assert self_pairs[0].kind == "carried"
+
+    def test_self_loop_outside_any_loop_skipped(self):
+        src = """\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+        _, pairs = pairs_of(src)
+        assert not [p for p in pairs if p.self_pair]
+
+
+KILL = """\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10), w(10, 10)
+  do i = 1, 10
+    do j = 1, 10
+      v(i, j) = 1.0
+    end do
+  end do
+  do i = 1, 10
+    do j = 1, 10
+      v(i, j) = 2.0
+    end do
+  end do
+  do i = 2, 9
+    do j = 2, 9
+      w(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+
+
+class TestRedundantElimination:
+    def test_killed_pair_removed(self):
+        _, pairs = pairs_of(KILL)
+        # only the second writer pairs with the reader
+        v_pairs = [p for p in pairs if p.array == "v"]
+        assert len(v_pairs) == 1
+        assert v_pairs[0].writer.open > 0
+
+    def test_disable_elimination(self):
+        _, pairs = pairs_of(KILL, eliminate=False)
+        assert len([p for p in pairs if p.array == "v"]) == 2
+
+    def test_conditional_writer_does_not_kill(self):
+        src = """\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  logical flag
+  real v(10, 10), w(10, 10)
+  do i = 1, 10
+    do j = 1, 10
+      v(i, j) = 1.0
+    end do
+  end do
+  if (flag) then
+    do i = 1, 10
+      do j = 1, 10
+        v(i, j) = 2.0
+      end do
+    end do
+  end if
+  do i = 2, 9
+    do j = 2, 9
+      w(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+        _, pairs = pairs_of(src)
+        assert len([p for p in pairs if p.array == "v"]) == 2
+
+    def test_boundary_writer_does_not_kill(self):
+        src = """\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10), w(10, 10)
+  do i = 1, 10
+    do j = 1, 10
+      v(i, j) = 1.0
+    end do
+  end do
+  do j = 1, 10
+    v(1, j) = 0.0
+  end do
+  do i = 2, 9
+    do j = 2, 9
+      w(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+        _, pairs = pairs_of(src)
+        # both the full writer and the boundary writer pair with the reader
+        assert len([p for p in pairs if p.array == "v"]) == 2
+
+
+class TestPartitionFiltering:
+    def test_direction_specific_needs(self):
+        _, pairs = pairs_of(BASIC)
+        pair = [p for p in pairs if p.array == "v"][0]
+        assert pair.needs_sync((2, 1))
+        assert not pair.needs_sync((1, 2))
+        assert pair.needs_sync((2, 2))
+        assert not pair.needs_sync((1, 1))
+
+    def test_comm_dims(self):
+        _, pairs = pairs_of(BASIC)
+        pair = [p for p in pairs if p.array == "v"][0]
+        assert pair.comm_dims((2, 2)) == {0}
+
+    def test_irregular_needs_all_cut_dims(self):
+        src = """\
+!$acfd status v
+!$acfd grid 10 10
+!$acfd frame it
+program p
+  integer i, j, it, g(10)
+  real v(10, 10), w(10, 10)
+  do it = 1, 3
+    do i = 1, 10
+      do j = 1, 10
+        v(i, j) = 1.0
+      end do
+    end do
+    do i = 1, 10
+      do j = 1, 10
+        w(i, j) = v(g(i), j)
+      end do
+    end do
+  end do
+end
+"""
+        _, pairs = pairs_of(src)
+        pair = [p for p in pairs if p.array == "v" and p.kind == "forward"][0]
+        assert pair.irregular
+        assert pair.comm_dims((2, 2)) == {0, 1}
+        assert pair.comm_dims((1, 2)) == {1}

@@ -1,0 +1,147 @@
+"""The inlined frame program: slots, call expansion, containment."""
+
+import pytest
+
+from repro.analysis.frame import build_frame_program
+from repro.errors import AnalysisError
+from repro.fortran.parser import parse_source
+
+MULTI_CALL = """\
+!$acfd status v
+!$acfd grid 8 8
+program p
+  integer i, j, it
+  real v(8, 8)
+  common /f/ v
+  do it = 1, 5
+    call a()
+    call b()
+    call a()
+  end do
+end
+subroutine a()
+  integer i, j
+  common /f/ v(8, 8)
+  real v
+  do i = 1, 8
+    do j = 1, 8
+      v(i, j) = v(i, j) + 1.0
+    end do
+  end do
+end
+subroutine b()
+  integer i, j
+  common /f/ v(8, 8)
+  real v
+  do i = 2, 7
+    do j = 2, 7
+      v(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+
+
+def frame_of(src: str):
+    return build_frame_program(parse_source(src))
+
+
+class TestInlining:
+    def test_call_counts(self):
+        frame = frame_of(MULTI_CALL)
+        assert frame.call_counts["a"] == 2
+        assert frame.call_counts["b"] == 1
+
+    def test_field_loop_instances_per_call(self):
+        frame = frame_of(MULTI_CALL)
+        # a's loop twice + b's loop once
+        assert len(frame.field_loop_instances) == 3
+
+    def test_distinct_call_paths(self):
+        frame = frame_of(MULTI_CALL)
+        paths = {inst.call_path for inst in frame.field_loop_instances}
+        assert len(paths) == 3
+
+    def test_recursion_rejected(self):
+        src = """\
+!$acfd status v
+!$acfd grid 4 4
+program p
+  real v(4, 4)
+  call r()
+end
+subroutine r()
+  call r()
+end
+"""
+        with pytest.raises(AnalysisError):
+            frame_of(src)
+
+
+class TestSlots:
+    def test_slots_unique_and_ordered(self):
+        frame = frame_of(MULTI_CALL)
+        used = []
+        for node in frame.nodes:
+            used.extend([node.open, node.close])
+        assert sorted(used) == list(range(frame.slot_count))
+
+    def test_open_before_close(self):
+        frame = frame_of(MULTI_CALL)
+        for node in frame.nodes:
+            assert node.open < node.close
+
+    def test_children_inside_parent(self):
+        frame = frame_of(MULTI_CALL)
+        for node in frame.nodes:
+            for child in node.children:
+                assert node.open < child.open
+                assert child.close < node.close
+
+    def test_node_at_open_close(self):
+        frame = frame_of(MULTI_CALL)
+        node = frame.field_loop_instances[0]
+        assert frame.node_at_open(node.open) is node
+        assert frame.node_at_close(node.close) is node
+
+
+class TestQueries:
+    def test_common_enclosing_loop(self):
+        frame = frame_of(MULTI_CALL)
+        a1, b1, a2 = frame.field_loop_instances
+        carrier = frame.common_enclosing_loop(a1, a2)
+        assert carrier is not None
+        assert carrier.kind == "loop"
+        assert carrier.stmt.var == "it"
+
+    def test_enclosing_loops_innermost_first(self):
+        frame = frame_of(MULTI_CALL)
+        inst = frame.field_loop_instances[0]
+        loops = inst.enclosing_loops()
+        assert [l.stmt.var for l in loops] == ["it"]
+
+    def test_allowed_slots_exclude_interiors(self):
+        frame = frame_of(MULTI_CALL)
+        a1, b1, a2 = frame.field_loop_instances
+        # region between end of a1's subtree and start of b1 spans the
+        # gap between the two call statements; b1's loop interior is not
+        # inside the range, but any structured node fully inside is
+        start = a1.close + 1
+        end = b1.open
+        allowed = frame.allowed_slots(start, end)
+        assert allowed, "region should have placement slots"
+        for node in frame.nodes:
+            if node.open >= start and node.close <= end:
+                for p in allowed:
+                    assert not (node.open < p <= node.close)
+
+    def test_allowed_slots_empty_for_reversed(self):
+        frame = frame_of(MULTI_CALL)
+        assert frame.allowed_slots(10, 5) == []
+
+    def test_location_points_to_unit(self):
+        frame = frame_of(MULTI_CALL)
+        a1 = frame.field_loop_instances[0]
+        unit, path = a1.location
+        assert unit == "a"
+        assert path

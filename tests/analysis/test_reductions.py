@@ -1,0 +1,109 @@
+"""Convergence-reduction recognition."""
+
+from repro.analysis.field_loops import classify_unit
+from repro.analysis.reductions import find_reductions
+from repro.fortran.parser import parse_source
+
+
+def reductions_of(body: str, decls: str = ""):
+    src = f"""\
+!$acfd status v
+!$acfd grid 8 8
+program p
+  integer i, j
+  real v(8, 8), err, s
+{decls}{body}end
+"""
+    cu = parse_source(src)
+    cls = classify_unit(cu.main, cu.directives)
+    out = []
+    for fl in cls.field_loops:
+        out.extend(find_reductions(fl))
+    return out
+
+
+class TestRecognition:
+    def test_amax1(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      err = amax1(err, abs(v(i, j)))
+    end do
+  end do
+""")
+        assert [(r.var, r.op) for r in reds] == [("err", "max")]
+
+    def test_min(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      err = min(err, v(i, j))
+    end do
+  end do
+""")
+        assert reds[0].op == "min"
+
+    def test_sum_both_orders(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      s = s + v(i, j)
+      err = v(i, j) + err
+    end do
+  end do
+""")
+        assert {(r.var, r.op) for r in reds} == {("s", "sum"),
+                                                 ("err", "sum")}
+
+    def test_deduplicated(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      err = amax1(err, v(i, j))
+      err = amax1(err, -v(i, j))
+    end do
+  end do
+""")
+        assert len(reds) == 1
+
+
+class TestRejection:
+    def test_not_a_reduction_var_on_both_sides_of_arg(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      err = amax1(err, err * 2.0)
+    end do
+  end do
+""")
+        assert reds == []
+
+    def test_plain_assignment_not_reduction(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      err = abs(v(i, j))
+    end do
+  end do
+""")
+        assert reds == []
+
+    def test_array_target_not_reduction(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      v(i, j) = v(i, j) + 1.0
+    end do
+  end do
+""")
+        assert reds == []
+
+    def test_subtraction_not_reduction(self):
+        reds = reductions_of("""\
+  do i = 1, 8
+    do j = 1, 8
+      s = s - v(i, j)
+    end do
+  end do
+""")
+        assert reds == []

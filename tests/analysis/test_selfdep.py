@@ -1,0 +1,162 @@
+"""Self-dependent loops and mirror-image decomposition (Figures 3-4)."""
+
+from repro.analysis.field_loops import classify_unit
+from repro.analysis.selfdep import (
+    DependenceEdge,
+    SelfDepClass,
+    analyze_self_dependence,
+)
+from repro.fortran.parser import parse_source
+
+#: Figure 3(a): dependences respect lexicographic order (wavefront-able).
+FIG3A = """\
+!$acfd status v
+!$acfd grid 10 10
+program fig3a
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(i - 1, j) + v(i, j - 1)
+    end do
+  end do
+end
+"""
+
+#: Figure 3(b): dependences in both orientations (mirror-image needed).
+FIG3B = """\
+!$acfd status v
+!$acfd grid 10 10
+program fig3b
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(i - 1, j) + v(i + 1, j) + v(i, j - 1) + v(i, j + 1)
+    end do
+  end do
+end
+"""
+
+
+def plans_of(src: str):
+    cu = parse_source(src)
+    cls = classify_unit(cu.main, cu.directives)
+    fl = cls.field_loops[0]
+    return analyze_self_dependence(fl, cu.directives.ndims)
+
+
+class TestClassification:
+    def test_fig3a_wavefront(self):
+        plans = plans_of(FIG3A)
+        assert len(plans) == 1
+        assert plans[0].klass is SelfDepClass.WAVEFRONT
+
+    def test_fig3b_mirror(self):
+        plans = plans_of(FIG3B)
+        assert plans[0].klass is SelfDepClass.MIRROR
+
+    def test_forward_only_anti_dependence(self):
+        plans = plans_of("""\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(i + 1, j) + v(i, j + 1)
+    end do
+  end do
+end
+""")
+        # reads strictly ahead: old values only; empty pipeline suffices
+        assert plans[0].klass is SelfDepClass.WAVEFRONT
+        assert plans[0].decomposition.backward == []
+
+    def test_irregular_serial(self):
+        plans = plans_of("""\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j, g(10)
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(g(i), j)
+    end do
+  end do
+end
+""")
+        assert plans[0].klass is SelfDepClass.SERIAL
+
+    def test_zero_offset_not_self_dependent(self):
+        plans = plans_of("""\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 2, 9
+      v(i, j) = v(i, j) * 0.5
+    end do
+  end do
+end
+""")
+        assert plans == []
+
+
+class TestMirrorDecomposition:
+    def test_split_by_orientation(self):
+        d = plans_of(FIG3B)[0].decomposition
+        assert sorted(d.backward) == [(-1, 0), (0, -1)]
+        assert sorted(d.forward) == [(0, 1), (1, 0)]
+
+    def test_pipeline_and_halo_dims(self):
+        d = plans_of(FIG3B)[0].decomposition
+        assert d.pipeline_dims == [0, 1]
+        assert d.halo_dims == [0, 1]
+
+    def test_one_direction_pipeline(self):
+        d = plans_of("""\
+!$acfd status v
+!$acfd grid 10 10
+program p
+  integer i, j
+  real v(10, 10)
+  do i = 2, 9
+    do j = 1, 10
+      v(i, j) = v(i - 1, j) + v(i + 1, j)
+    end do
+  end do
+end
+""")[0].decomposition
+        assert d.pipeline_dims == [0]
+        assert d.halo_dims == [0]
+
+    def test_fig4_subgraphs_are_disjoint_and_cover(self):
+        """Figure 4: decomposing the dependence graph of a small grid."""
+        d = plans_of(FIG3B)[0].decomposition
+        extent = (3, 3)
+        backward = set(d.subgraph_edges(extent, "backward"))
+        forward = set(d.subgraph_edges(extent, "forward"))
+        assert backward, "backward subgraph must be non-empty"
+        assert forward, "forward subgraph must be non-empty"
+        # mirror image: forward edges are backward edges reversed
+        assert {(b, a) for a, b in forward} == backward
+
+    def test_subgraph_edges_acyclic_within_orientation(self):
+        d = plans_of(FIG3B)[0].decomposition
+        edges = d.subgraph_edges((3, 3), "backward")
+        # every backward edge goes from lexicographically smaller to larger
+        for src, dst in edges:
+            assert src < dst
+
+
+class TestDependenceEdge:
+    def test_lexicographic_sign(self):
+        assert DependenceEdge((1, 0)).lexicographic_sign == 1
+        assert DependenceEdge((-1, 2)).lexicographic_sign == -1
+        assert DependenceEdge((0, -1)).lexicographic_sign == -1
+        assert DependenceEdge((0, 0)).lexicographic_sign == 0

@@ -1,0 +1,80 @@
+"""Generated MPI-Fortran artifact and schedule extraction."""
+
+from repro.codegen.mpi_fortran import print_mpi_fortran
+from repro.codegen.schedule import (
+    CommPhase,
+    ComputePhase,
+    ReducePhase,
+    extract_schedule,
+)
+from repro.core import AutoCFD
+
+from tests.conftest import JACOBI_SRC, SEIDEL_SRC
+
+
+def compile_src(src, partition):
+    return AutoCFD.from_source(src).compile(partition=partition)
+
+
+class TestMpiFortran:
+    def test_contains_program_and_runtime(self):
+        res = compile_src(JACOBI_SRC, (2, 1))
+        text = res.mpi_source()
+        assert "program jacobi" in text
+        assert "mpi_init" in text
+        assert "mpi_sendrecv" in text
+        assert "mpi_allreduce" in text
+
+    def test_exchange_wrapper_per_sync(self):
+        res = compile_src(JACOBI_SRC, (2, 1))
+        text = res.mpi_source()
+        for sync in res.plan.syncs:
+            assert f"acfd_exchange_{sync.sync_id}" in text
+
+    def test_pipeline_wrappers_for_seidel(self):
+        res = compile_src(SEIDEL_SRC, (2, 1))
+        text = res.mpi_source()
+        assert "acfd_pipe_recv_1" in text
+        assert "acfd_pipe_send_1" in text
+        assert "mirror-image decomposition" in text
+
+    def test_header_mentions_partition(self):
+        res = compile_src(JACOBI_SRC, (2, 2))
+        assert "partition: 2x2" in res.mpi_source()
+
+
+class TestScheduleExtraction:
+    def test_jacobi_phases(self):
+        res = compile_src(JACOBI_SRC, (2, 1))
+        sched = extract_schedule(res.plan)
+        kinds = [type(p).__name__ for p in sched.phases]
+        assert "ComputePhase" in kinds
+        assert "CommPhase" in kinds
+        assert "ReducePhase" in kinds
+
+    def test_only_frame_phases(self):
+        res = compile_src(JACOBI_SRC, (2, 1))
+        sched = extract_schedule(res.plan)
+        # the three init loops are outside the frame loop
+        names = [p.name for p in sched.compute_phases]
+        assert len(names) == 2  # stencil loop + copy loop
+
+    def test_pipeline_dims_recorded(self):
+        res = compile_src(SEIDEL_SRC, (2, 1))
+        sched = extract_schedule(res.plan)
+        pipelined = [p for p in sched.compute_phases if p.pipeline_dims]
+        assert len(pipelined) == 1
+        assert pipelined[0].pipeline_dims == (0,)
+
+    def test_ops_per_point_positive(self):
+        res = compile_src(JACOBI_SRC, (2, 2))
+        sched = extract_schedule(res.plan)
+        for p in sched.compute_phases:
+            assert p.ops_per_point >= 1
+
+    def test_comm_phases_match_plan_syncs_in_frame(self):
+        res = compile_src(JACOBI_SRC, (2, 1))
+        sched = extract_schedule(res.plan)
+        assert len(sched.comm_phases) <= len(res.plan.syncs)
+        for phase in sched.comm_phases:
+            assert phase.arrays

@@ -1,0 +1,77 @@
+"""LogicalIf normalization pre-pass."""
+
+from repro.codegen.normalize import normalize_compilation_unit, normalize_unit
+from repro.fortran import ast as A
+from repro.fortran.parser import parse_source
+from repro.interp.pyback import run_compiled
+
+
+class TestNormalization:
+    def test_logical_if_becomes_block(self):
+        cu = parse_source("program p\nif (a) x = 1\nend\n", resolve=False)
+        normalize_unit(cu.main)
+        stmt = cu.main.body[0]
+        assert isinstance(stmt, A.IfBlock)
+        assert len(stmt.arms) == 1
+        assert isinstance(stmt.arms[0][1][0], A.Assign)
+
+    def test_nested_inside_loops(self):
+        cu = parse_source(
+            "program p\ndo i = 1, 3\n if (a) x = 1\nend do\nend\n",
+            resolve=False)
+        normalize_compilation_unit(cu)
+        loop = cu.main.body[0]
+        assert isinstance(loop.body[0], A.IfBlock)
+
+    def test_inside_if_arms(self):
+        cu = parse_source("""\
+program p
+  if (a) then
+    if (b) x = 1
+  else
+    if (c) y = 2
+  end if
+end
+""", resolve=False)
+        normalize_compilation_unit(cu)
+        outer = cu.main.body[0]
+        assert isinstance(outer.arms[0][1][0], A.IfBlock)
+        assert isinstance(outer.arms[1][1][0], A.IfBlock)
+
+    def test_label_preserved(self):
+        cu = parse_source("program p\n10 if (a) goto 10\nend\n",
+                          resolve=False)
+        normalize_unit(cu.main)
+        assert cu.main.body[0].label == 10
+
+    def test_semantics_preserved(self):
+        src = """\
+program p
+  integer k
+  k = 0
+  if (k .eq. 0) k = 5
+  if (k .eq. 1) k = 9
+  write (6, *) k
+end
+"""
+        plain = run_compiled(parse_source(src))
+        cu = parse_source(src)
+        normalize_compilation_unit(cu)
+        normalized = run_compiled(cu)
+        assert plain.io.output() == normalized.io.output() == "5"
+
+    def test_do_while_bodies_normalized(self):
+        cu = parse_source("""\
+program p
+  integer k
+  k = 0
+  do while (k .lt. 3)
+    if (k .eq. 0) k = 1
+    k = k + 1
+  end do
+end
+""", resolve=False)
+        normalize_compilation_unit(cu)
+        loop = cu.main.body[1]
+        assert isinstance(loop, A.DoWhile)
+        assert isinstance(loop.body[0], A.IfBlock)

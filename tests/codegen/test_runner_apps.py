@@ -1,0 +1,85 @@
+"""Case-study applications: small instances, sequential vs parallel."""
+
+import numpy as np
+import pytest
+
+from repro.apps.aerofoil import AEROFOIL_INPUT, aerofoil_source
+from repro.apps.sprayer import sprayer_source
+from repro.core import AutoCFD
+
+SPRAY_IN = "2.5 12\n"
+
+
+@pytest.fixture(scope="module")
+def small_sprayer():
+    acfd = AutoCFD.from_source(sprayer_source(n=40, m=20, iters=6))
+    seq = acfd.run_sequential(input_text=SPRAY_IN)
+    return acfd, seq
+
+
+@pytest.fixture(scope="module")
+def small_aerofoil():
+    acfd = AutoCFD.from_source(
+        aerofoil_source(nx=20, ny=12, nz=6, iters=3, stages=2))
+    seq = acfd.run_sequential(input_text=AEROFOIL_INPUT)
+    return acfd, seq
+
+
+class TestSprayer:
+    @pytest.mark.parametrize("partition", [(2, 1), (1, 2), (2, 2), (4, 1)],
+                             ids=lambda p: "x".join(map(str, p)))
+    def test_parallel_matches(self, small_sprayer, partition):
+        acfd, seq = small_sprayer
+        result = acfd.compile(partition=partition).run_parallel(
+            input_text=SPRAY_IN)
+        assert result.output() == seq.io.output()
+        for name in ("vx", "vy", "pr", "sw"):
+            assert np.array_equal(result.array(name).data,
+                                  seq.array(name).data), name
+
+    def test_table1_shape(self, small_sprayer):
+        """Direction-split sweeps: X and Y counts are close, the 2-D cut
+        is near their sum, and the reduction is around 90%."""
+        acfd, _ = small_sprayer
+        x = acfd.compile(partition=(4, 1))
+        y = acfd.compile(partition=(1, 4))
+        xy = acfd.compile(partition=(4, 4))
+        assert abs(x.plan.syncs_before - y.plan.syncs_before) <= 10
+        assert xy.plan.syncs_before >= 0.85 * (x.plan.syncs_before
+                                               + y.plan.syncs_before)
+        for r in (x, y, xy):
+            assert r.plan.reduction_percent > 80.0
+
+    def test_read_bcast_used(self, small_sprayer):
+        acfd, _ = small_sprayer
+        text = acfd.compile(partition=(2, 1)).parallel_source()
+        assert "fanspd = acfd_bcast(fanspd)" in text
+
+
+class TestAerofoil:
+    @pytest.mark.parametrize("partition",
+                             [(2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 1)],
+                             ids=lambda p: "x".join(map(str, p)))
+    def test_parallel_matches(self, small_aerofoil, partition):
+        acfd, seq = small_aerofoil
+        result = acfd.compile(partition=partition).run_parallel(
+            input_text=AEROFOIL_INPUT)
+        assert result.output() == seq.io.output()
+        for name in "uvwpt":
+            assert np.array_equal(result.array(name).data,
+                                  seq.array(name).data), name
+
+    def test_blayer_is_mirror_pipelined(self, small_aerofoil):
+        acfd, _ = small_aerofoil
+        res = acfd.compile(partition=(2, 1, 1))
+        assert res.plan.pipes, "blayer must be pipelined"
+        from repro.analysis.selfdep import SelfDepClass
+        assert any(p.klass is SelfDepClass.MIRROR for p in res.plan.pipes)
+
+    def test_sync_counts_direction_dependent(self, small_aerofoil):
+        acfd, _ = small_aerofoil
+        counts = {}
+        for part in [(2, 1, 1), (1, 2, 1), (1, 1, 2)]:
+            counts[part] = acfd.compile(partition=part).plan.syncs_before
+        assert len(set(counts.values())) >= 2, \
+            "direction-split sweeps must give direction-dependent counts"

@@ -1,0 +1,123 @@
+"""Stress configurations: larger rank counts, regeneration stability."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import gauss_seidel_2d, heat_3d, jacobi_5pt
+from repro.core import AutoCFD
+from repro.fortran.parser import parse_source
+from repro.fortran.printer import print_compilation_unit
+
+
+class TestManyRanks:
+    def test_jacobi_eight_ranks(self):
+        acfd = AutoCFD.from_source(jacobi_5pt(n=32, m=16, iters=12))
+        seq = acfd.run_sequential()
+        par = acfd.compile(partition=(4, 2)).run_parallel()
+        assert np.array_equal(par.array("v").data, seq.array("v").data)
+
+    def test_seidel_six_rank_pipeline(self):
+        acfd = AutoCFD.from_source(gauss_seidel_2d(n=24, m=18, iters=10))
+        seq = acfd.run_sequential()
+        par = acfd.compile(partition=(3, 2)).run_parallel()
+        assert np.array_equal(par.array("v").data, seq.array("v").data)
+
+    def test_heat3d_eight_ranks(self):
+        acfd = AutoCFD.from_source(heat_3d(n=12, m=10, l=8, iters=8))
+        seq = acfd.run_sequential()
+        par = acfd.compile(partition=(2, 2, 2)).run_parallel()
+        assert np.array_equal(par.array("u").data, seq.array("u").data)
+
+    def test_single_row_subgrids(self):
+        # extreme cut: every rank owns one grid line along X
+        acfd = AutoCFD.from_source(jacobi_5pt(n=6, m=8, iters=5))
+        seq = acfd.run_sequential()
+        par = acfd.compile(partition=(6, 1)).run_parallel()
+        assert np.array_equal(par.array("v").data, seq.array("v").data)
+
+
+class TestRegenerationStability:
+    def test_generated_source_recompiles_identically(self):
+        """print -> reparse -> print of the SPMD program is a fixpoint."""
+        acfd = AutoCFD.from_source(jacobi_5pt(n=16, m=10, iters=4))
+        text1 = acfd.compile(partition=(2, 2)).parallel_source()
+        cu2 = parse_source(text1)
+        text2 = print_compilation_unit(cu2)
+        assert text1 == text2
+
+    def test_compile_is_deterministic(self):
+        acfd = AutoCFD.from_source(gauss_seidel_2d(n=16, m=10, iters=4))
+        a = acfd.compile(partition=(2, 1))
+        b = acfd.compile(partition=(2, 1))
+        assert a.parallel_source() == b.parallel_source()
+        assert a.plan.syncs_before == b.plan.syncs_before
+        assert [s.placement_slot for s in a.plan.syncs] \
+            == [s.placement_slot for s in b.plan.syncs]
+
+    def test_repeated_runs_identical(self):
+        """The threaded runtime introduces no nondeterminism: pipelined
+        order and reductions are fully determined by the dependences."""
+        acfd = AutoCFD.from_source(gauss_seidel_2d(n=16, m=12, iters=8))
+        compiled = acfd.compile(partition=(2, 2))
+        first = compiled.run_parallel()
+        second = compiled.run_parallel()
+        assert np.array_equal(first.array("v").data,
+                              second.array("v").data)
+        assert first.output() == second.output()
+
+
+class TestMixedWorkload:
+    """Jacobi and Gauss-Seidel stages in one frame: exchanges and
+    pipelines must interleave correctly."""
+
+    SRC = """\
+!$acfd status a, b
+!$acfd grid 18 12
+!$acfd frame it
+program mixed
+  implicit none
+  integer n, m, i, j, it
+  parameter (n = 18, m = 12)
+  real a(n, m), b(n, m), old, err
+  do i = 1, n
+    do j = 1, m
+      a(i, j) = 0.1 * float(i)
+      b(i, j) = 0.2 * float(j)
+    end do
+  end do
+  do it = 1, 6
+    do i = 2, n - 1
+      do j = 2, m - 1
+        b(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+      end do
+    end do
+    err = 0.0
+    do i = 2, n - 1
+      do j = 2, m - 1
+        old = a(i, j)
+        a(i, j) = 0.2 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1)) &
+          + 0.2 * b(i, j)
+        err = amax1(err, abs(a(i, j) - old))
+      end do
+    end do
+  end do
+  write (6, *) err
+end
+"""
+
+    @pytest.mark.parametrize("partition", [(2, 1), (1, 2), (2, 2), (3, 2)],
+                             ids=lambda p: "x".join(map(str, p)))
+    def test_mixed_bitwise(self, partition):
+        acfd = AutoCFD.from_source(self.SRC)
+        seq = acfd.run_sequential()
+        par = acfd.compile(partition=partition).run_parallel()
+        assert par.output() == seq.io.output()
+        for name in ("a", "b"):
+            assert np.array_equal(par.array(name).data,
+                                  seq.array(name).data)
+
+    def test_one_pipe_for_selfdep_stage_only(self):
+        acfd = AutoCFD.from_source(self.SRC)
+        plan = acfd.compile(partition=(2, 2)).plan
+        assert len(plan.pipes) == 1
+        assert plan.pipes[0].arrays == ["a"]

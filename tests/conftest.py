@@ -1,0 +1,107 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fortran import parse_source
+
+
+def parse(src: str, **kwargs):
+    """Parse helper with resolution on."""
+    return parse_source(src, **kwargs)
+
+
+def parse_main(src: str):
+    """Parse and return the main program unit."""
+    return parse_source(src).main
+
+
+JACOBI_SRC = """\
+!$acfd status v, vnew
+!$acfd grid 24 16
+!$acfd frame iter
+program jacobi
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = 24, m = 16)
+  real v(n, m), vnew(n, m), err, eps
+  eps = 1.0e-4
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = 0.0
+    end do
+  end do
+  do i = 1, n
+    v(i, 1) = 1.0
+    v(i, m) = 2.0
+  end do
+  do iter = 1, 120
+    err = 0.0
+    do i = 2, n - 1
+      do j = 2, m - 1
+        vnew(i, j) = 0.25 * (v(i-1, j) + v(i+1, j) + v(i, j-1) + v(i, j+1))
+        err = amax1(err, abs(vnew(i, j) - v(i, j)))
+      end do
+    end do
+    do i = 2, n - 1
+      do j = 2, m - 1
+        v(i, j) = vnew(i, j)
+      end do
+    end do
+    if (err .lt. eps) exit
+  end do
+  write (6, *) iter, err
+end program jacobi
+"""
+
+SEIDEL_SRC = """\
+!$acfd status v
+!$acfd grid 20 14
+!$acfd frame iter
+program seidel
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = 20, m = 14)
+  real v(n, m), err, eps, old
+  eps = 1.0e-5
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = 0.0
+    end do
+  end do
+  do j = 1, m
+    v(1, j) = 1.0
+    v(n, j) = 2.0
+  end do
+  do iter = 1, 80
+    err = 0.0
+    do i = 2, n - 1
+      do j = 2, m - 1
+        old = v(i, j)
+        v(i, j) = 0.25 * (v(i-1, j) + v(i+1, j) + v(i, j-1) + v(i, j+1))
+        err = amax1(err, abs(v(i, j) - old))
+      end do
+    end do
+    if (err .lt. eps) exit
+  end do
+  write (6, *) iter, err
+end program seidel
+"""
+
+
+@pytest.fixture
+def jacobi_cu():
+    return parse_source(JACOBI_SRC)
+
+
+@pytest.fixture
+def seidel_cu():
+    return parse_source(SEIDEL_SRC)
+
+
+def arrays_equal(a, b) -> bool:
+    """Bitwise equality of two OffsetArrays."""
+    return (a.lower == b.lower and a.shape == b.shape
+            and np.array_equal(a.data, b.data))

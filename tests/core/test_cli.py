@@ -1,0 +1,108 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import _parse_partition, main
+
+from tests.conftest import JACOBI_SRC
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "jacobi.f90"
+    path.write_text(JACOBI_SRC)
+    return str(path)
+
+
+class TestPartitionParsing:
+    def test_valid(self):
+        assert _parse_partition("2x2") == (2, 2)
+        assert _parse_partition("4X1x1") == (4, 1, 1)
+
+    def test_invalid(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_partition("two")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_partition("0x2")
+
+
+class TestCompile:
+    def test_stdout(self, src_file, capsys):
+        assert main(["compile", src_file, "-p", "2x1"]) == 0
+        out = capsys.readouterr().out
+        assert "acfd_exchange" in out
+        assert "program jacobi" in out
+
+    def test_mpi_output_file(self, src_file, tmp_path, capsys):
+        out_path = tmp_path / "par.f"
+        assert main(["compile", src_file, "-p", "2x2", "--mpi",
+                     "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "mpi_sendrecv" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_processors_flag(self, src_file, capsys):
+        assert main(["compile", src_file, "-n", "4"]) == 0
+        assert "acfd_lo" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_multiple_partitions(self, src_file, capsys):
+        assert main(["report", src_file, "-p", "2x1", "-p", "1x2"]) == 0
+        out = capsys.readouterr().out
+        assert "2x1" in out
+        assert "1x2" in out
+
+    def test_missing_partition_is_error(self, src_file, capsys):
+        assert main(["report", src_file]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_compares(self, src_file, capsys):
+        assert main(["run", src_file, "-p", "2x1"]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+
+    def test_run_with_input(self, tmp_path, capsys):
+        src = tmp_path / "prog.f90"
+        src.write_text("""\
+!$acfd status v
+!$acfd grid 10 6
+program p
+  integer i, j
+  real v(10, 6), c
+  read (5, *) c
+  do i = 1, 10
+    do j = 1, 6
+      v(i, j) = c
+    end do
+  end do
+  write (6, *) c * 2.0
+end
+""")
+        deck = tmp_path / "deck.txt"
+        deck.write_text("3.5\n")
+        assert main(["run", str(src), "-p", "2x1",
+                     "-i", str(deck)]) == 0
+        assert "7" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_table(self, src_file, capsys):
+        assert main(["simulate", src_file, "-p", "2x1", "-p", "2x2",
+                     "--frames", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "2x2" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["report", "/nonexistent.f90", "-p", "2x1"]) == 2
+
+    def test_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.f90"
+        path.write_text("program p\nthis is not fortran at all(((\nend\n")
+        assert main(["report", str(path), "-p", "2x1"]) == 2

@@ -1,0 +1,120 @@
+"""Verification helper and distributed write-probes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import packed_states_2d, wide_stencil_2d
+from repro.core import AutoCFD, verify_equivalence
+
+from tests.conftest import JACOBI_SRC
+
+
+class TestVerifyEquivalence:
+    def test_jacobi_all_partitions(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        report = verify_equivalence(acfd, [(2, 1), (1, 2), (2, 2)])
+        assert report.all_identical
+        assert len(report.verdicts) == 3
+        assert "identical" in report.summary()
+
+    def test_exchange_counts_reported(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        report = verify_equivalence(acfd, [(2, 1)])
+        v = report.verdicts[0]
+        assert v.exchanges_per_rank > 0
+        assert v.planned_syncs > 0
+
+
+class TestWideStencil:
+    """Paper §4.2 case 5: dependency distance 2."""
+
+    def test_distance2_parallel_bitwise(self):
+        acfd = AutoCFD.from_source(wide_stencil_2d(n=20, m=14, iters=6,
+                                                   eps=0.0))
+        report = verify_equivalence(acfd, [(2, 1), (1, 2), (2, 2)])
+        assert report.all_identical, report.summary()
+
+    def test_ghost_width_two(self):
+        acfd = AutoCFD.from_source(wide_stencil_2d(n=20, m=14))
+        plan = acfd.compile(partition=(2, 2)).plan
+        assert plan.arrays["v"].ghosts.width(0) == (2, 2)
+        assert plan.arrays["v"].ghosts.width(1) == (2, 2)
+
+    def test_halo_bytes_scale_with_distance(self):
+        acfd = AutoCFD.from_source(wide_stencil_2d(n=20, m=14, iters=3,
+                                                   eps=0.0))
+        par = acfd.compile(partition=(2, 1)).run_parallel()
+        # each exchanged face is 2 layers deep
+        messages = par.trace.messages(rank=0)
+        assert messages
+        assert max(m.nbytes for m in messages) >= 2 * 14 * 8
+
+
+class TestPackedArrays:
+    """Paper §4.2 case 4: packed status arrays with extended dims."""
+
+    def test_parallel_bitwise(self):
+        acfd = AutoCFD.from_source(packed_states_2d(n=16, m=12, ns=3,
+                                                    iters=5))
+        report = verify_equivalence(acfd, [(2, 1), (2, 2)])
+        assert report.all_identical, report.summary()
+
+    def test_extended_dim_not_partitioned(self):
+        acfd = AutoCFD.from_source(packed_states_2d(n=16, m=12, ns=3))
+        plan = acfd.compile(partition=(2, 2)).plan
+        ap = plan.arrays["q"]
+        assert ap.dim_map == (0, 1, None)
+        # generated declaration keeps the species dim intact
+        text = acfd.compile(partition=(2, 2)).parallel_source()
+        assert "acfd_ub('q', 2), 3)" in text.replace("ns", "3") or \
+            "acfd_ub('q', 2), ns)" in text
+
+
+class TestWriteProbes:
+    SRC = """\
+!$acfd status v
+!$acfd grid 16 10
+!$acfd frame it
+program probe
+  integer n, m, i, j, it
+  parameter (n = 16, m = 10)
+  real v(n, m)
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = float(i) * 100.0 + float(j)
+    end do
+  end do
+  do it = 1, 2
+    do i = 2, n - 1
+      do j = 2, m - 1
+        v(i, j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+      end do
+    end do
+  end do
+  write (6, *) v(2, 2), v(n - 1, m - 1), v(n / 2, 3)
+end
+"""
+
+    def test_probes_fetched_from_owners(self):
+        acfd = AutoCFD.from_source(self.SRC)
+        seq = acfd.run_sequential()
+        for part in [(2, 1), (4, 1), (2, 2)]:
+            par = acfd.compile(partition=part).run_parallel()
+            assert par.output() == seq.io.output(), part
+
+    def test_probe_generates_acfd_get(self):
+        acfd = AutoCFD.from_source(self.SRC)
+        text = acfd.compile(partition=(2, 1)).parallel_source()
+        assert "acfd_get(v, 2, 2)" in text
+        assert "acfd_probe1" in text
+
+    def test_probe_outside_rank_guard(self):
+        # the fetch is collective: it must not be under the rank-0 guard
+        acfd = AutoCFD.from_source(self.SRC)
+        text = acfd.compile(partition=(2, 1)).parallel_source()
+        lines = text.splitlines()
+        fetch_line = next(i for i, l in enumerate(lines)
+                          if "acfd_get" in l)
+        guard_line = next(i for i, l in enumerate(lines)
+                          if "acfd_rank() .eq. 0" in l)
+        assert fetch_line < guard_line

@@ -1,0 +1,120 @@
+"""$acfd directive parsing and validation."""
+
+import pytest
+
+from repro.errors import DirectiveError
+from repro.fortran.directives import AcfdDirectives
+from repro.fortran.parser import parse_source
+
+
+def directives_of(lines: str, body: str = "real v(4, 4)\n") -> AcfdDirectives:
+    src = f"{lines}program p\n{body}end\n"
+    return parse_source(src).directives
+
+
+class TestParsing:
+    def test_full_set(self):
+        d = directives_of(
+            "!$acfd status u, v\n!$acfd grid 8 4\n!$acfd partition 2 1\n"
+            "!$acfd distance 2\n!$acfd frame iter\n",
+            body="real u(8, 4), v(8, 4)\n")
+        assert d.status_arrays == ["u", "v"]
+        assert d.grid_shape == (8, 4)
+        assert d.partition == (2, 1)
+        assert d.max_distance == 2
+        assert d.frame_var == "iter"
+
+    def test_status_accumulates_unique(self):
+        d = directives_of(
+            "!$acfd status v\n!$acfd status v, w\n!$acfd grid 4 4\n",
+            body="real v(4, 4), w(4, 4)\n")
+        assert d.status_arrays == ["v", "w"]
+
+    def test_case_normalized(self):
+        d = directives_of("!$acfd status V\n!$acfd grid 4 4\n")
+        assert d.status_arrays == ["v"]
+
+    def test_3d_grid(self):
+        d = directives_of("!$acfd status v\n!$acfd grid 4 4 4\n",
+                          body="real v(4, 4, 4)\n")
+        assert d.ndims == 3
+
+    def test_dims_map(self):
+        d = directives_of(
+            "!$acfd status q\n!$acfd grid 4 4\n!$acfd dims q 1 2 0\n",
+            body="real q(4, 4, 3)\n")
+        assert d.dim_maps["q"] == (0, 1, None)
+
+    def test_no_directives_gives_empty(self):
+        cu = parse_source("program p\nend\n")
+        assert cu.directives.status_arrays == []
+
+
+class TestStatusDims:
+    def make(self):
+        return directives_of(
+            "!$acfd status v, q\n!$acfd grid 6 4\n!$acfd dims q 0 1 2\n",
+            body="real v(6, 4), q(3, 6, 4)\n")
+
+    def test_default_map_leading_dims(self):
+        d = self.make()
+        assert d.status_dims("v", 2) == (0, 1)
+
+    def test_default_map_extended_trailing(self):
+        d = self.make()
+        assert d.status_dims("other", 3) == (0, 1, None)
+
+    def test_explicit_map(self):
+        d = self.make()
+        assert d.status_dims("q", 3) == (None, 0, 1)
+
+    def test_rank_mismatch_raises(self):
+        d = self.make()
+        with pytest.raises(DirectiveError):
+            d.status_dims("q", 2)
+
+
+class TestValidation:
+    def test_missing_status(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd grid 4 4\n")
+
+    def test_missing_grid(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd status v\n")
+
+    def test_bad_grid_rank(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd status v\n!$acfd grid 4 4 4 4\n")
+
+    def test_partition_rank_mismatch(self):
+        with pytest.raises(DirectiveError):
+            directives_of(
+                "!$acfd status v\n!$acfd grid 4 4\n!$acfd partition 2\n")
+
+    def test_zero_grid_extent(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd status v\n!$acfd grid 0 4\n")
+
+    def test_bad_distance(self):
+        with pytest.raises(DirectiveError):
+            directives_of(
+                "!$acfd status v\n!$acfd grid 4 4\n!$acfd distance 0\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd status v\n!$acfd grid 4 4\n!$acfd zap\n")
+
+    def test_dims_duplicate_grid_dim(self):
+        with pytest.raises(DirectiveError):
+            directives_of(
+                "!$acfd status v\n!$acfd grid 4 4\n!$acfd dims v 1 1\n")
+
+    def test_dims_out_of_range(self):
+        with pytest.raises(DirectiveError):
+            directives_of(
+                "!$acfd status v\n!$acfd grid 4 4\n!$acfd dims v 1 3\n")
+
+    def test_malformed_grid_numbers(self):
+        with pytest.raises(DirectiveError):
+            directives_of("!$acfd status v\n!$acfd grid four\n")

@@ -1,0 +1,47 @@
+"""Error types: hierarchy, source coordinates, messages."""
+
+import pytest
+
+from repro import errors
+from repro.fortran.parser import parse_source
+
+
+class TestHierarchy:
+    def test_all_derive_from_reproerror(self):
+        for name in ("SourceError", "LexError", "ParseError",
+                     "SemanticError", "DirectiveError", "AnalysisError",
+                     "PartitionError", "CodegenError", "RuntimeCommError",
+                     "InterpError", "SimulationError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_source_errors_are_source_errors(self):
+        for name in ("LexError", "ParseError", "SemanticError",
+                     "DirectiveError"):
+            assert issubclass(getattr(errors, name), errors.SourceError)
+
+
+class TestCoordinates:
+    def test_parse_error_location(self):
+        with pytest.raises(errors.ParseError) as exc_info:
+            parse_source("program p\nx = ((1\nend\n", filename="f.f90")
+        err = exc_info.value
+        assert err.filename == "f.f90"
+        assert err.line == 2
+        assert "f.f90:2:" in str(err)
+
+    def test_lex_error_location(self):
+        with pytest.raises(errors.LexError) as exc_info:
+            parse_source("program p\nx = 1 @ 2\nend\n")
+        assert exc_info.value.line == 2
+
+    def test_bare_message(self):
+        err = errors.ParseError("boom", filename="a", line=1, column=2)
+        assert err.bare_message == "boom"
+
+    def test_one_catch_all(self):
+        # the documented pipeline-boundary idiom
+        try:
+            parse_source("program p\n???\nend\n")
+        except errors.ReproError:
+            caught = True
+        assert caught

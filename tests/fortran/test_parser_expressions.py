@@ -1,0 +1,149 @@
+"""Expression parsing: precedence, associativity, primaries."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fortran import ast as A
+from repro.fortran.parser import _TokenStream, parse_expression, parse_source
+from repro.fortran.tokens import tokenize
+
+
+def expr(text: str) -> A.Expr:
+    ts = _TokenStream(tokenize(text), "<test>", 1)
+    out = parse_expression(ts)
+    assert ts.at_end(), f"unconsumed input in {text!r}"
+    return out
+
+
+class TestPrimaries:
+    def test_int(self):
+        assert expr("42") == A.IntLit(42)
+
+    def test_real(self):
+        e = expr("1.5")
+        assert isinstance(e, A.RealLit)
+        assert e.value == 1.5
+
+    def test_d_exponent(self):
+        assert expr("1d3").value == 1000.0
+
+    def test_logical(self):
+        assert expr(".true.") == A.LogicalLit(True)
+        assert expr(".false.") == A.LogicalLit(False)
+
+    def test_string(self):
+        assert expr("'hi'") == A.StringLit("hi")
+
+    def test_string_escape(self):
+        assert expr("'it''s'") == A.StringLit("it's")
+
+    def test_var_lowercased(self):
+        assert expr("Foo") == A.Var("foo")
+
+    def test_apply(self):
+        assert expr("v(i, 2)") == A.Apply("v", [A.Var("i"), A.IntLit(2)])
+
+    def test_nested_apply(self):
+        e = expr("f(g(x))")
+        assert e == A.Apply("f", [A.Apply("g", [A.Var("x")])])
+
+    def test_empty_args(self):
+        assert expr("f()") == A.Apply("f", [])
+
+
+class TestPrecedence:
+    def test_mul_before_add(self):
+        assert expr("a + b * c") == A.BinOp(
+            "+", A.Var("a"), A.BinOp("*", A.Var("b"), A.Var("c")))
+
+    def test_power_before_mul(self):
+        assert expr("a * b ** c") == A.BinOp(
+            "*", A.Var("a"), A.BinOp("**", A.Var("b"), A.Var("c")))
+
+    def test_power_right_associative(self):
+        assert expr("a ** b ** c") == A.BinOp(
+            "**", A.Var("a"), A.BinOp("**", A.Var("b"), A.Var("c")))
+
+    def test_add_left_associative(self):
+        assert expr("a - b - c") == A.BinOp(
+            "-", A.BinOp("-", A.Var("a"), A.Var("b")), A.Var("c"))
+
+    def test_parens_override(self):
+        assert expr("(a + b) * c") == A.BinOp(
+            "*", A.BinOp("+", A.Var("a"), A.Var("b")), A.Var("c"))
+
+    def test_relational_below_arith(self):
+        e = expr("a + b .lt. c * d")
+        assert isinstance(e, A.BinOp) and e.op == ".lt."
+
+    def test_and_below_relational(self):
+        e = expr("a .lt. b .and. c .gt. d")
+        assert e.op == ".and."
+        assert e.left.op == ".lt."
+        assert e.right.op == ".gt."
+
+    def test_or_below_and(self):
+        e = expr("a .and. b .or. c")
+        assert e.op == ".or."
+
+    def test_not_unary(self):
+        e = expr(".not. a .and. b")
+        assert e.op == ".and."
+        assert e.left == A.UnOp(".not.", A.Var("a"))
+
+    def test_unary_minus(self):
+        assert expr("-a + b") == A.BinOp("+", A.UnOp("-", A.Var("a")),
+                                         A.Var("b"))
+
+    def test_unary_minus_with_mul(self):
+        # -a * b parses as (-(a)) * b in our grammar via the additive level
+        e = expr("-a * b")
+        assert isinstance(e, A.UnOp)
+        assert isinstance(e.operand, A.BinOp)
+
+    def test_power_unary_exponent(self):
+        e = expr("a ** -b")
+        assert e == A.BinOp("**", A.Var("a"), A.UnOp("-", A.Var("b")))
+
+    def test_eqv_lowest(self):
+        e = expr("a .or. b .eqv. c")
+        assert e.op == ".eqv."
+
+
+class TestSubscripts:
+    def test_offset_subscripts(self):
+        e = expr("v(i-1, j+1)")
+        assert e.args[0] == A.BinOp("-", A.Var("i"), A.IntLit(1))
+        assert e.args[1] == A.BinOp("+", A.Var("j"), A.IntLit(1))
+
+    def test_range_subscript(self):
+        e = expr("v(1:n)")
+        assert e.args[0] == A.RangeExpr(A.IntLit(1), A.Var("n"))
+
+
+class TestErrors:
+    def test_missing_rparen(self):
+        with pytest.raises(ParseError):
+            expr("(a + b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            expr("a +")
+
+    def test_empty(self):
+        with pytest.raises(ParseError):
+            expr("")
+
+
+class TestIntegrationWithPrograms:
+    def test_complex_expression_in_program(self):
+        cu = parse_source("""\
+program p
+  real x, y
+  x = 1.0
+  y = (x + 2.0) ** 2 / (3.0 - x) .lt. 4.0 .and. .true.
+end program p
+""", resolve=False)
+        stmt = cu.main.body[1]
+        assert isinstance(stmt.value, A.BinOp)
+        assert stmt.value.op == ".and."

@@ -1,0 +1,290 @@
+"""Statement-level parsing: every statement kind."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fortran import ast as A
+from repro.fortran.parser import parse_source
+
+
+def main_body(body_src: str, decls: str = "") -> list:
+    src = f"program p\n{decls}{body_src}end program p\n"
+    return parse_source(src, resolve=False).main.body
+
+
+def one(body_src: str, decls: str = "") -> A.Stmt:
+    body = main_body(body_src, decls)
+    assert len(body) == 1
+    return body[0]
+
+
+class TestAssignment:
+    def test_scalar(self):
+        s = one("x = 1\n")
+        assert s == A.Assign(target=A.Var("x"), value=A.IntLit(1))
+
+    def test_array_element(self):
+        s = one("v(i, j) = 0.0\n")
+        assert isinstance(s.target, A.Apply)
+
+    def test_keyword_named_variable(self):
+        # 'end', 'do', 'if' are not reserved words
+        s = one("if(i) = 3\n")
+        assert isinstance(s, A.Assign)
+
+    def test_trailing_junk_raises(self):
+        with pytest.raises(ParseError):
+            one("x = 1 2\n")
+
+
+class TestDoLoops:
+    def test_block_do(self):
+        s = one("do i = 1, 10\n  x = i\nend do\n")
+        assert isinstance(s, A.DoLoop)
+        assert s.var == "i"
+        assert s.start == A.IntLit(1)
+        assert s.stop == A.IntLit(10)
+        assert s.step is None
+        assert len(s.body) == 1
+
+    def test_do_with_step(self):
+        s = one("do i = 10, 1, -2\n end do\n")
+        assert s.step == A.UnOp("-", A.IntLit(2))
+
+    def test_enddo_spelling(self):
+        s = one("do i = 1, 2\nenddo\n")
+        assert isinstance(s, A.DoLoop)
+
+    def test_labeled_do(self):
+        s = one("do 10 i = 1, 5\n  x = i\n10 continue\n")
+        assert isinstance(s, A.DoLoop)
+        assert s.end_label == 10
+        assert isinstance(s.body[-1], A.Continue)
+        assert s.body[-1].label == 10
+
+    def test_nested_shared_terminator(self):
+        s = one("do 10 i = 1, 5\ndo 10 j = 1, 5\n  x = i + j\n10 continue\n")
+        assert isinstance(s, A.DoLoop)
+        inner = s.body[0]
+        assert isinstance(inner, A.DoLoop)
+        assert inner.end_label == 10
+        # the labeled CONTINUE lives in the innermost loop
+        assert isinstance(inner.body[-1], A.Continue)
+
+    def test_do_while(self):
+        s = one("do while (x .lt. 10)\n  x = x + 1\nend do\n")
+        assert isinstance(s, A.DoWhile)
+        assert s.cond.op == ".lt."
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            one("do i = 1, 2\n x = 1\n")
+
+
+class TestIf:
+    def test_if_then(self):
+        s = one("if (x .gt. 0) then\n  y = 1\nend if\n")
+        assert isinstance(s, A.IfBlock)
+        assert len(s.arms) == 1
+
+    def test_if_else(self):
+        s = one("if (a) then\n x = 1\nelse\n x = 2\nend if\n")
+        assert len(s.arms) == 2
+        assert s.arms[1][0] is None
+
+    def test_elseif_chain(self):
+        s = one("if (a) then\n x = 1\nelse if (b) then\n x = 2\n"
+                "else\n x = 3\nend if\n")
+        assert len(s.arms) == 3
+        assert s.arms[1][0] == A.Var("b")
+
+    def test_elseif_one_word(self):
+        s = one("if (a) then\n x = 1\nelseif (b) then\n x = 2\nend if\n")
+        assert len(s.arms) == 2
+
+    def test_endif_one_word(self):
+        s = one("if (a) then\nendif\n")
+        assert isinstance(s, A.IfBlock)
+
+    def test_logical_if(self):
+        s = one("if (x .lt. 0) x = 0\n")
+        assert isinstance(s, A.LogicalIf)
+        assert isinstance(s.stmt, A.Assign)
+
+    def test_logical_if_goto(self):
+        s = one("if (err .lt. eps) goto 20\n20 continue\n".replace(
+            "\n20 continue\n", "\n"))
+        assert isinstance(s, A.LogicalIf)
+        assert isinstance(s.stmt, A.Goto)
+
+    def test_nested_if(self):
+        s = one("if (a) then\n if (b) then\n x = 1\n end if\nend if\n")
+        inner = s.arms[0][1][0]
+        assert isinstance(inner, A.IfBlock)
+
+
+class TestControl:
+    def test_goto(self):
+        body = main_body("goto 10\n10 continue\n")
+        assert body[0] == A.Goto(target=10)
+
+    def test_go_to_two_words(self):
+        body = main_body("go to 10\n10 continue\n")
+        assert body[0] == A.Goto(target=10)
+
+    def test_computed_goto(self):
+        body = main_body("goto (10, 20), k\n10 continue\n20 continue\n")
+        assert body[0] == A.ComputedGoto(targets=[10, 20],
+                                         selector=A.Var("k"))
+
+    def test_continue(self):
+        assert isinstance(one("continue\n"), A.Continue)
+
+    def test_exit_cycle(self):
+        body = main_body("do i = 1, 2\n exit\n cycle\nend do\n")
+        assert isinstance(body[0].body[0], A.ExitStmt)
+        assert isinstance(body[0].body[1], A.CycleStmt)
+
+    def test_stop(self):
+        assert one("stop\n") == A.StopStmt(message=None)
+        assert one("stop 'done'\n") == A.StopStmt(message="done")
+
+    def test_return(self):
+        src = "subroutine s()\nreturn\nend subroutine s\n"
+        cu = parse_source(src, resolve=False)
+        assert isinstance(cu.units[0].body[0], A.ReturnStmt)
+
+    def test_call(self):
+        s = one("call foo(x, 1)\n")
+        assert s.name == "foo"
+        assert len(s.args) == 2
+
+    def test_call_no_args(self):
+        assert one("call foo()\n").args == []
+        assert one("call foo\n").args == []
+
+
+class TestDeclarations:
+    def test_typed_array(self):
+        cu = parse_source("program p\nreal v(10, 20), x\nend\n",
+                          resolve=False)
+        decl = cu.main.decls[0]
+        assert decl.type_name == "real"
+        assert decl.entities[0] == ("v", [A.IntLit(10), A.IntLit(20)])
+        assert decl.entities[1] == ("x", [])
+
+    def test_explicit_bounds(self):
+        cu = parse_source("program p\nreal v(0:11)\nend\n", resolve=False)
+        dims = cu.main.decls[0].entities[0][1]
+        assert dims[0] == A.RangeExpr(A.IntLit(0), A.IntLit(11))
+
+    def test_double_precision(self):
+        cu = parse_source("program p\ndouble precision x\nend\n",
+                          resolve=False)
+        assert cu.main.decls[0].type_name == "doubleprecision"
+
+    def test_kind_star(self):
+        cu = parse_source("program p\nreal*8 x\nend\n", resolve=False)
+        assert cu.main.decls[0].kind == A.IntLit(8)
+
+    def test_dimension(self):
+        cu = parse_source("program p\ndimension v(5)\nreal v\nend\n",
+                          resolve=False)
+        assert isinstance(cu.main.decls[0], A.DimensionStmt)
+
+    def test_parameter(self):
+        cu = parse_source("program p\nparameter (n = 10, m = 2 * 5)\nend\n",
+                          resolve=False)
+        stmt = cu.main.decls[0]
+        assert stmt.assignments[0] == ("n", A.IntLit(10))
+
+    def test_common(self):
+        cu = parse_source("program p\ncommon /blk/ a(5), b\nend\n",
+                          resolve=False)
+        stmt = cu.main.decls[0]
+        assert stmt.block == "blk"
+        assert stmt.entities[0][0] == "a"
+
+    def test_blank_common(self):
+        cu = parse_source("program p\ncommon a, b\nend\n", resolve=False)
+        assert cu.main.decls[0].block == ""
+
+    def test_implicit_none(self):
+        cu = parse_source("program p\nimplicit none\nend\n", resolve=False)
+        assert isinstance(cu.main.decls[0], A.ImplicitStmt)
+
+    def test_implicit_other_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("program p\nimplicit real (a-h)\nend\n",
+                         resolve=False)
+
+    def test_data_simple(self):
+        cu = parse_source("program p\nreal x, y\ndata x, y / 1.0, 2.0 /\nend\n",
+                          resolve=False)
+        stmt = cu.main.decls[1]
+        assert stmt.names == ["x", "y"]
+        assert len(stmt.values) == 2
+
+    def test_data_repeat_count(self):
+        cu = parse_source("program p\nreal v(3)\ndata v / 3*0.0 /\nend\n",
+                          resolve=False)
+        assert len(cu.main.decls[1].values) == 3
+
+    def test_save_external_intrinsic(self):
+        cu = parse_source(
+            "program p\nsave x\nexternal f\nintrinsic abs\nend\n",
+            resolve=False)
+        assert isinstance(cu.main.decls[0], A.SaveStmt)
+        assert cu.main.decls[1].names == ["f"]
+        assert cu.main.decls[2].names == ["abs"]
+
+
+class TestIo:
+    def test_read_star(self):
+        s = one("read *, x, y\n")
+        assert isinstance(s, A.ReadStmt)
+        assert s.unit is None
+        assert len(s.items) == 2
+
+    def test_read_unit(self):
+        s = one("read (5, *) x\n")
+        assert s.unit == A.IntLit(5)
+
+    def test_write_unit(self):
+        s = one("write (6, *) 'hi', x\n")
+        assert isinstance(s, A.WriteStmt)
+        assert s.unit == A.IntLit(6)
+
+    def test_print(self):
+        s = one("print *, x\n")
+        assert isinstance(s, A.WriteStmt)
+        assert s.unit is None
+
+    def test_implied_do(self):
+        s = one("write (6, *) (v(i), i = 1, n)\n")
+        item = s.items[0]
+        assert isinstance(item, A.ImpliedDo)
+        assert item.var == "i"
+        assert item.items[0] == A.Apply("v", [A.Var("i")])
+
+    def test_nested_implied_do(self):
+        s = one("write (6, *) ((v(i, j), j = 1, m), i = 1, n)\n")
+        outer = s.items[0]
+        assert isinstance(outer, A.ImpliedDo)
+        assert isinstance(outer.items[0], A.ImpliedDo)
+
+    def test_open_close(self):
+        body = main_body("open (unit = 9, file = 'data')\nclose (9)\n")
+        assert isinstance(body[0], A.OpenStmt)
+        assert isinstance(body[1], A.CloseStmt)
+
+    def test_format_kept_verbatim(self):
+        # a FORMAT after executable statements stays in the body
+        body = main_body("x = 1\n100 format (f10.2, i5)\n")
+        assert isinstance(body[1], A.FormatStmt)
+        assert body[1].label == 100
+
+    def test_format_before_executables_goes_to_decls(self):
+        cu = parse_source("program p\n100 format (i5)\nx = 1\nend\n",
+                          resolve=False)
+        assert isinstance(cu.main.decls[0], A.FormatStmt)

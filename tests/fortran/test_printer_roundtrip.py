@@ -1,0 +1,175 @@
+"""Printer round-trip: parse(print(ast)) is structurally stable.
+
+Includes a hypothesis strategy generating random small Fortran programs
+(expressions + statements over a fixed symbol pool) whose round trip must
+be exact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fortran import ast as A
+from repro.fortran.parser import parse_source
+from repro.fortran.printer import print_compilation_unit, print_expr, print_unit
+
+from tests.conftest import JACOBI_SRC, SEIDEL_SRC
+
+
+def roundtrip(src: str):
+    cu1 = parse_source(src, resolve=False)
+    out1 = print_compilation_unit(cu1)
+    cu2 = parse_source(out1, resolve=False)
+    assert cu1.units == cu2.units, f"round trip changed AST for:\n{src}"
+    out2 = print_compilation_unit(cu2)
+    assert out1 == out2, "printing is not stable"
+    return out1
+
+
+class TestGoldenRoundTrips:
+    def test_jacobi(self):
+        roundtrip(JACOBI_SRC)
+
+    def test_seidel(self):
+        roundtrip(SEIDEL_SRC)
+
+    def test_all_statement_kinds(self):
+        roundtrip("""\
+program every
+  implicit none
+  integer i, j, k, n
+  parameter (n = 5)
+  real v(n, 0:n+1), x
+  common /blk/ c(3)
+  real c
+  data x / 1.5 /
+  do i = 1, n, 2
+    do j = 1, n
+      v(i, j) = float(i) * 0.5 - v(i, j-1) ** 2
+    end do
+  end do
+  do while (x .lt. 10.0)
+    x = x + 1.0
+  end do
+  if (x .gt. 0.0) then
+    k = 1
+  else if (x .lt. -1.0) then
+    k = 2
+  else
+    k = 3
+  end if
+  if (k .eq. 1) x = 0.0
+  goto 20
+20 continue
+  goto (20, 30), k
+30 continue
+  call sub(x, v)
+  read (5, *) x
+  write (6, *) 'x =', x, (c(i), i = 1, 3)
+  print *, x
+  open (unit = 9, file = 'out')
+  close (9)
+  stop 'done'
+end program every
+
+subroutine sub(a, w)
+  implicit none
+  real a, w(5, 0:6)
+  a = a + w(1, 0)
+  return
+end subroutine sub
+
+real function f(y)
+  real y
+  f = y * 2.0
+end function f
+""")
+
+    def test_labeled_do_becomes_block(self):
+        out = roundtrip("""\
+program p
+  do 10 i = 1, 5
+    x = i
+10 continue
+end
+""")
+        assert "end do" in out
+
+    def test_precedence_preserved(self):
+        out = roundtrip("""\
+program p
+  x = (a + b) * c
+  y = a + b * c
+  z = -(a + b)
+  w = a ** (b + 1)
+  l = .not. (p .and. q)
+end
+""")
+        assert "(a + b) * c" in out
+
+
+class TestExprPrinting:
+    def test_minimal_parens(self):
+        e = A.BinOp("+", A.Var("a"), A.BinOp("*", A.Var("b"), A.Var("c")))
+        assert print_expr(e) == "a + b * c"
+
+    def test_needed_parens(self):
+        e = A.BinOp("*", A.BinOp("+", A.Var("a"), A.Var("b")), A.Var("c"))
+        assert print_expr(e) == "(a + b) * c"
+
+    def test_left_assoc_subtraction(self):
+        e = A.BinOp("-", A.Var("a"), A.BinOp("-", A.Var("b"), A.Var("c")))
+        assert print_expr(e) == "a - (b - c)"
+
+    def test_string_quotes(self):
+        assert print_expr(A.StringLit("it's")) == "'it''s'"
+
+
+# --- property-based round trip -------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "zz", "w1"])
+_arrays = st.sampled_from(["v", "u"])
+
+
+def _exprs(depth: int):
+    base = st.one_of(
+        st.integers(0, 99).map(A.IntLit),
+        st.sampled_from([0.5, 1.0, 2.25]).map(lambda v: A.RealLit(v, repr(v))),
+        _names.map(A.Var),
+    )
+    if depth <= 0:
+        return base
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "/"]), sub, sub)
+          .map(lambda t: A.BinOp(t[0], t[1], t[2])),
+        st.tuples(_arrays, sub).map(lambda t: A.Apply(t[0], [t[1]])),
+        sub.map(lambda e: A.UnOp("-", e)),
+    )
+
+
+def _stmts(depth: int):
+    assign = st.tuples(_names, _exprs(2)).map(
+        lambda t: A.Assign(target=A.Var(t[0]), value=t[1]))
+    array_assign = st.tuples(_arrays, _exprs(1), _exprs(2)).map(
+        lambda t: A.Assign(target=A.Apply(t[0], [t[1]]), value=t[2]))
+    base = st.one_of(assign, array_assign)
+    if depth <= 0:
+        return base
+    sub = st.lists(_stmts(depth - 1), min_size=1, max_size=3)
+    loop = st.tuples(st.sampled_from(["i", "j", "k"]), _exprs(1), sub).map(
+        lambda t: A.DoLoop(var=t[0], start=A.IntLit(1), stop=t[1],
+                           body=t[2]))
+    cond = st.tuples(_exprs(1), _exprs(1), sub).map(
+        lambda t: A.IfBlock(arms=[(A.BinOp(".lt.", t[0], t[1]), t[2])]))
+    return st.one_of(base, loop, cond)
+
+
+@given(st.lists(_stmts(2), min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_random_program_roundtrip(stmts):
+    unit = A.ProgramUnit("program", "p", body=stmts)
+    out1 = print_unit(unit)
+    cu = parse_source(out1, resolve=False)
+    assert cu.units[0].body == stmts
+    assert print_unit(cu.units[0]) == out1

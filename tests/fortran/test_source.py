@@ -1,0 +1,115 @@
+"""Tests for logical-line assembly (fixed and free source forms)."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.fortran.source import (
+    detect_form,
+    split_fixed_form,
+    split_free_form,
+    split_source,
+)
+
+
+class TestFreeForm:
+    def test_simple_lines(self):
+        src = split_free_form("x = 1\ny = 2\n")
+        assert [l.text for l in src.lines] == ["x = 1", "y = 2"]
+
+    def test_line_numbers(self):
+        src = split_free_form("\nx = 1\n\ny = 2\n")
+        assert [(l.text, l.line) for l in src.lines] == [("x = 1", 2),
+                                                         ("y = 2", 4)]
+
+    def test_trailing_ampersand_continuation(self):
+        src = split_free_form("x = 1 + &\n  2\n")
+        assert src.lines[0].text == "x = 1 + 2"
+
+    def test_leading_ampersand_on_continuation(self):
+        src = split_free_form("x = 1 + &\n  & 2\n")
+        assert src.lines[0].text == "x = 1 + 2"
+
+    def test_multiline_continuation(self):
+        src = split_free_form("x = 1 + &\n 2 + &\n 3\n")
+        assert src.lines[0].text == "x = 1 + 2 + 3"
+
+    def test_comment_lines_skipped(self):
+        src = split_free_form("! a comment\nx = 1\n")
+        assert len(src.lines) == 1
+
+    def test_trailing_comment_stripped(self):
+        src = split_free_form("x = 1  ! trailing\n")
+        assert src.lines[0].text == "x = 1"
+
+    def test_exclamation_inside_string_kept(self):
+        src = split_free_form("s = 'hello!world'\n")
+        assert src.lines[0].text == "s = 'hello!world'"
+
+    def test_label_extraction(self):
+        src = split_free_form("10 continue\n")
+        assert src.lines[0].label == 10
+        assert src.lines[0].text == "continue"
+
+    def test_directive_line(self):
+        src = split_free_form("!$acfd status v\nx = 1\n")
+        assert src.lines[0].is_directive
+        assert src.lines[0].text == "status v"
+
+    def test_unterminated_continuation_raises(self):
+        with pytest.raises(LexError):
+            split_free_form("x = 1 + &\n")
+
+    def test_ampersand_inside_string_not_continuation(self):
+        src = split_free_form("s = 'a & b'\n")
+        assert len(src.lines) == 1
+        assert src.lines[0].text == "s = 'a & b'"
+
+
+class TestFixedForm:
+    def test_comment_columns(self):
+        text = "c a comment\nC also\n* stars too\n      x = 1\n"
+        src = split_fixed_form(text)
+        assert [l.text for l in src.lines] == ["x = 1"]
+
+    def test_continuation_column_six(self):
+        text = "      x = 1 +\n     &    2\n"
+        src = split_fixed_form(text)
+        assert src.lines[0].text == "x = 1 + 2"
+
+    def test_label_field(self):
+        text = "   10 continue\n"
+        src = split_fixed_form(text)
+        assert src.lines[0].label == 10
+
+    def test_columns_beyond_72_ignored(self):
+        stmt = ("      x = 1" + " " * 61 + "junk")[:80]
+        src = split_fixed_form(stmt + "\n")
+        assert src.lines[0].text == "x = 1"
+
+    def test_directive(self):
+        src = split_fixed_form("c$acfd grid 10 10\n      x = 1\n")
+        assert src.lines[0].is_directive
+        assert src.lines[0].text == "grid 10 10"
+
+    def test_continuation_without_initial_raises(self):
+        with pytest.raises(LexError):
+            split_fixed_form("     &  2\n")
+
+
+class TestDetection:
+    def test_free_detected_by_ampersand(self):
+        assert detect_form("x = 1 + &\n 2\n") == "free"
+
+    def test_fixed_detected_by_comment(self):
+        assert detect_form("c comment\n      x = 1\n") == "fixed"
+
+    def test_free_default(self):
+        assert detect_form("program p\nend\n") == "free"
+
+    def test_split_source_auto(self):
+        src = split_source("      x = 1 +\n     & 2\n", form="fixed")
+        assert src.lines[0].text == "x = 1 + 2"
+
+    def test_split_source_bad_form(self):
+        with pytest.raises(LexError):
+            split_source("x = 1", form="banana")

@@ -1,0 +1,144 @@
+"""Symbol tables and Apply resolution."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.fortran import ast as A
+from repro.fortran.parser import parse_source
+from repro.fortran.symbols import build_symbol_table, resolve_unit
+
+
+def table_of(src: str):
+    cu = parse_source(src)
+    return cu.main.symbols, cu
+
+
+class TestTyping:
+    def test_declared_types(self):
+        table, _ = table_of(
+            "program p\ninteger k\nreal x\nlogical b\nend\n")
+        assert table.get("k").type_name == "integer"
+        assert table.get("x").type_name == "real"
+        assert table.get("b").type_name == "logical"
+
+    def test_implicit_typing_rule(self):
+        table, _ = table_of("program p\nq = 1.0\nnum = 2\nend\n")
+        assert table.get("q").type_name == "real"
+        assert table.get("num").type_name == "integer"
+
+    def test_dummy_args_marked(self):
+        cu = parse_source("subroutine s(a, n)\ninteger n\nreal a(n)\nend\n")
+        table = cu.units[0].symbols
+        assert table.get("a").is_dummy
+        assert table.get("n").is_dummy
+
+
+class TestParameters:
+    def test_simple_value(self):
+        table, _ = table_of("program p\nparameter (n = 10)\nend\n")
+        assert table.get("n").param_value == 10
+
+    def test_arithmetic(self):
+        table, _ = table_of(
+            "program p\nparameter (n = 4, m = n * 2 + 1)\nend\n")
+        assert table.get("m").param_value == 9
+
+    def test_integer_division_truncates(self):
+        table, _ = table_of("program p\nparameter (n = 7 / 2)\nend\n")
+        assert table.get("n").param_value == 3
+
+    def test_negative(self):
+        table, _ = table_of("program p\nparameter (n = -3)\nend\n")
+        assert table.get("n").param_value == -3
+
+    def test_non_constant_raises(self):
+        with pytest.raises(SemanticError):
+            parse_source("program p\nparameter (n = k + 1)\nend\n")
+
+
+class TestArrays:
+    def test_shape(self):
+        table, _ = table_of(
+            "program p\nparameter (n = 8)\nreal v(n, 2 * n)\nend\n")
+        assert table.array_shape("v") == (8, 16)
+
+    def test_explicit_bounds(self):
+        table, _ = table_of("program p\nreal v(0:9, -1:1)\nend\n")
+        assert table.array_shape("v") == (10, 3)
+        assert table.get("v").array.rank == 2
+
+    def test_dimension_statement(self):
+        table, _ = table_of("program p\ndimension w(4)\nreal w\nend\n")
+        assert table.get("w").is_array
+        assert table.get("w").array.type_name == "real"
+
+    def test_extent_errors(self):
+        table, _ = table_of("program p\nreal x\nend\n")
+        with pytest.raises(SemanticError):
+            table.array_shape("x")
+        with pytest.raises(SemanticError):
+            table.require("missing")
+
+
+class TestCommon:
+    def test_members_recorded(self):
+        table, _ = table_of(
+            "program p\ncommon /flow/ a(4), b\nreal a, b\nend\n")
+        assert table.common_blocks["flow"] == ["a", "b"]
+        assert table.get("a").common_block == "flow"
+        assert table.get("a").is_array
+
+    def test_common_array_dims_in_common_stmt(self):
+        table, _ = table_of("program p\ncommon /c/ v(3, 3)\nreal v\nend\n")
+        assert table.array_shape("v") == (3, 3)
+
+
+class TestResolution:
+    def test_array_ref_resolved(self):
+        _, cu = table_of("program p\nreal v(5)\nv(1) = v(2) + 1.0\nend\n")
+        stmt = cu.main.body[0]
+        assert isinstance(stmt.target, A.ArrayRef)
+        assert isinstance(stmt.value.left, A.ArrayRef)
+
+    def test_intrinsic_resolved_to_funccall(self):
+        _, cu = table_of("program p\nx = abs(y)\nend\n")
+        assert isinstance(cu.main.body[0].value, A.FuncCall)
+
+    def test_user_function_resolved(self):
+        cu = parse_source(
+            "program p\nx = f(1.0)\nend\nreal function f(y)\nf = y\nend\n")
+        assert isinstance(cu.main.body[0].value, A.FuncCall)
+
+    def test_unknown_call_marked_external(self):
+        _, cu = table_of("program p\nx = mystery(1)\nend\n")
+        table = cu.main.symbols
+        assert table.get("mystery").is_external
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(SemanticError):
+            parse_source("program p\nreal v(5, 5)\nx = v(1)\nend\n")
+
+    def test_assignment_to_function_raises(self):
+        with pytest.raises(SemanticError):
+            parse_source("program p\nreal x\nabs(x) = 1.0\nend\n")
+
+    def test_called_subroutine_marked_external(self):
+        cu = parse_source(
+            "program p\ncall s()\nend\nsubroutine s()\nend\n")
+        assert cu.main.symbols.get("s").is_external
+
+
+class TestBuildOnly:
+    def test_build_symbol_table_without_resolve(self):
+        cu = parse_source("program p\nreal v(5)\nv(1) = 2.0\nend\n",
+                          resolve=False)
+        table = build_symbol_table(cu.main)
+        assert table.get("v").is_array
+        # body still has Apply nodes
+        assert isinstance(cu.main.body[0].target, A.Apply)
+        resolve_unit(cu.main)
+        assert isinstance(cu.main.body[0].target, A.ArrayRef)
+
+    def test_assumed_size_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_source("subroutine s(v)\nreal v(1:)\nv(1) = 0.0\nend\n")

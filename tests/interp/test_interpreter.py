@@ -1,0 +1,410 @@
+"""Reference interpreter semantics."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.fortran.parser import parse_source
+from repro.interp.interpreter import Interpreter
+from repro.interp.io_runtime import IoManager
+
+
+def run(src: str, inputs: str | None = None, max_steps: int = 2_000_000):
+    io = IoManager()
+    if inputs is not None:
+        io.provide_input(5, inputs)
+    interp = Interpreter(parse_source(src), io=io, max_steps=max_steps)
+    scope = interp.run()
+    return interp, scope
+
+
+def out(src: str, inputs: str | None = None) -> str:
+    interp, _ = run(src, inputs)
+    return interp.io.output()
+
+
+class TestArithmetic:
+    def test_integer_division(self):
+        assert out("program p\ninteger k\nk = 7 / 2\nwrite (6,*) k\nend\n") \
+            == "3"
+
+    def test_negative_integer_division(self):
+        assert out("program p\ninteger k\nk = (-7) / 2\nwrite (6,*) k\nend\n") \
+            == "-3"
+
+    def test_mixed_division_is_real(self):
+        assert out("program p\nreal x\nx = 7 / 2.0\nwrite (6,*) x\nend\n") \
+            == "3.5"
+
+    def test_assignment_truncation(self):
+        assert out("program p\ninteger k\nk = 3.9\nwrite (6,*) k\nend\n") \
+            == "3"
+
+    def test_power(self):
+        assert out("program p\nwrite (6,*) 2 ** 10\nend\n") == "1024"
+
+    def test_relational_and_logical(self):
+        src = """program p
+logical b
+b = 1 .lt. 2 .and. .not. (3 .eq. 4)
+write (6,*) b
+end
+"""
+        assert out(src) == "T"
+
+
+class TestDoLoops:
+    def test_trip_count(self):
+        src = """program p
+integer i, c
+c = 0
+do i = 1, 10
+  c = c + 1
+end do
+write (6,*) c, i
+end
+"""
+        # DO variable ends one past the last value
+        assert out(src) == "10 11"
+
+    def test_zero_trip(self):
+        src = """program p
+integer i, c
+c = 0
+do i = 5, 1
+  c = c + 1
+end do
+write (6,*) c
+end
+"""
+        assert out(src) == "0"
+
+    def test_negative_step(self):
+        src = """program p
+integer i, s
+s = 0
+do i = 10, 1, -3
+  s = s + i
+end do
+write (6,*) s
+end
+"""
+        assert out(src) == "22"  # 10 + 7 + 4 + 1
+
+    def test_exit_and_cycle(self):
+        src = """program p
+integer i, s
+s = 0
+do i = 1, 10
+  if (i .eq. 3) cycle
+  if (i .gt. 5) exit
+  s = s + i
+end do
+write (6,*) s
+end
+"""
+        assert out(src) == "12"  # 1+2+4+5
+
+    def test_do_while(self):
+        src = """program p
+integer k
+k = 1
+do while (k .lt. 100)
+  k = k * 2
+end do
+write (6,*) k
+end
+"""
+        assert out(src) == "128"
+
+    def test_zero_step_raises(self):
+        with pytest.raises(InterpError):
+            run("program p\ninteger i\ndo i = 1, 2, 0\nend do\nend\n")
+
+
+class TestGoto:
+    def test_forward_goto(self):
+        src = """program p
+x = 1.0
+goto 10
+x = 2.0
+10 continue
+write (6,*) x
+end
+"""
+        assert out(src) == "1"
+
+    def test_backward_goto_loop(self):
+        src = """program p
+integer k
+k = 0
+10 continue
+k = k + 1
+if (k .lt. 5) goto 10
+write (6,*) k
+end
+"""
+        assert out(src) == "5"
+
+    def test_goto_out_of_loop(self):
+        src = """program p
+integer i
+do i = 1, 100
+  if (i .eq. 7) goto 99
+end do
+99 continue
+write (6,*) i
+end
+"""
+        assert out(src) == "7"
+
+    def test_computed_goto(self):
+        src = """program p
+integer k
+k = 2
+goto (10, 20, 30), k
+10 continue
+write (6,*) 'ten'
+goto 99
+20 continue
+write (6,*) 'twenty'
+goto 99
+30 continue
+write (6,*) 'thirty'
+99 continue
+end
+"""
+        assert out(src) == "twenty"
+
+    def test_computed_goto_out_of_range_falls_through(self):
+        src = """program p
+integer k
+k = 9
+goto (10), k
+write (6,*) 'fell'
+goto 99
+10 continue
+write (6,*) 'ten'
+99 continue
+end
+"""
+        assert out(src) == "fell"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(Exception):
+            run("program p\ngoto 42\nend\n")
+
+
+class TestProcedures:
+    def test_subroutine_scalar_writeback(self):
+        src = """program p
+integer n
+n = 1
+call bump(n)
+write (6,*) n
+end
+subroutine bump(k)
+integer k
+k = k + 10
+end
+"""
+        assert out(src) == "11"
+
+    def test_array_aliasing(self):
+        src = """program p
+real v(3)
+integer i
+do i = 1, 3
+  v(i) = 0.0
+end do
+call fill(v)
+write (6,*) v(1), v(3)
+end
+subroutine fill(w)
+real w(3)
+w(1) = 1.5
+w(3) = 2.5
+end
+"""
+        assert out(src) == "1.5 2.5"
+
+    def test_array_element_actual_copyout(self):
+        src = """program p
+real v(3)
+v(2) = 1.0
+call bump(v(2))
+write (6,*) v(2)
+end
+subroutine bump(x)
+real x
+x = x + 1.0
+end
+"""
+        assert out(src) == "2"
+
+    def test_function_result(self):
+        src = """program p
+real area, f
+area = f(3.0)
+write (6,*) area
+end
+real function f(x)
+real x
+f = x * x
+end
+"""
+        assert out(src) == "9"
+
+    def test_function_integer_implicit(self):
+        src = """program p
+integer k, next
+k = next(4)
+write (6,*) k
+end
+function next(i)
+integer next, i
+next = i + 1
+end
+"""
+        assert out(src) == "5"
+
+    def test_adjustable_array(self):
+        src = """program p
+real v(6)
+integer i
+do i = 1, 6
+  v(i) = float(i)
+end do
+call total(v, 6)
+end
+subroutine total(w, n)
+integer n, i
+real w(n), s
+s = 0.0
+do i = 1, n
+  s = s + w(i)
+end do
+write (6,*) s
+end
+"""
+        assert out(src) == "21"
+
+    def test_return_statement(self):
+        src = """program p
+integer k
+k = 0
+call maybe(k)
+write (6,*) k
+end
+subroutine maybe(k)
+integer k
+k = 1
+return
+k = 2
+end
+"""
+        assert out(src) == "1"
+
+    def test_recursion_via_missing_sub_raises(self):
+        with pytest.raises(InterpError):
+            run("program p\ncall nothere()\nend\n")
+
+
+class TestCommonAndData:
+    def test_common_shared_between_units(self):
+        src = """program p
+common /st/ total, count
+real total
+integer count
+total = 0.0
+count = 0
+call add(2.5)
+call add(1.5)
+write (6,*) total, count
+end
+subroutine add(x)
+common /st/ total, count
+real total, x
+integer count
+total = total + x
+count = count + 1
+end
+"""
+        assert out(src) == "4 2"
+
+    def test_common_array(self):
+        src = """program p
+common /g/ v(4)
+real v
+call setit()
+write (6,*) v(2)
+end
+subroutine setit()
+common /g/ v(4)
+real v
+v(2) = 42.0
+end
+"""
+        assert out(src) == "42"
+
+    def test_data_initialization(self):
+        src = """program p
+real x, v(3)
+data x / 2.5 /
+data v / 1.0, 2.0, 3.0 /
+write (6,*) x, v(2)
+end
+"""
+        assert out(src) == "2.5 2"
+
+    def test_data_fill(self):
+        src = """program p
+real v(4)
+data v / 7.0 /
+write (6,*) v(1), v(4)
+end
+"""
+        assert out(src) == "7 7"
+
+
+class TestIoAndStop:
+    def test_read_values(self):
+        assert out("program p\nreal x\ninteger k\nread (5,*) x, k\n"
+                   "write (6,*) x * 2.0, k + 1\nend\n",
+                   inputs="1.5 10") == "3 11"
+
+    def test_implied_do_write(self):
+        src = """program p
+integer i
+real v(3)
+do i = 1, 3
+  v(i) = float(i)
+end do
+write (6,*) (v(i), i = 1, 3)
+end
+"""
+        assert out(src) == "1 2 3"
+
+    def test_stop_ends_program(self):
+        src = """program p
+write (6,*) 'before'
+stop
+write (6,*) 'after'
+end
+"""
+        assert out(src) == "before"
+
+    def test_budget_guard(self):
+        src = """program p
+integer k
+k = 0
+10 continue
+k = k + 1
+goto 10
+end
+"""
+        with pytest.raises(InterpError):
+            run(src, max_steps=10_000)
+
+    def test_read_past_end_raises(self):
+        with pytest.raises(InterpError):
+            run("program p\nreal x\nread (5,*) x\nend\n")

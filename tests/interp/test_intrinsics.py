@@ -1,0 +1,68 @@
+"""Intrinsic function semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import InterpError
+from repro.interp.intrinsics import call_intrinsic
+
+
+class TestNumeric:
+    def test_abs_family(self):
+        assert call_intrinsic("abs", [-2.5]) == 2.5
+        assert call_intrinsic("iabs", [-3]) == 3
+        assert call_intrinsic("dabs", [-1.0]) == 1.0
+
+    def test_sqrt_exp_log(self):
+        assert call_intrinsic("sqrt", [9.0]) == 3.0
+        assert call_intrinsic("exp", [0.0]) == 1.0
+        assert call_intrinsic("alog", [math.e]) == pytest.approx(1.0)
+        assert call_intrinsic("log10", [100.0]) == pytest.approx(2.0)
+
+    def test_trig(self):
+        assert call_intrinsic("sin", [0.0]) == 0.0
+        assert call_intrinsic("cos", [0.0]) == 1.0
+        assert call_intrinsic("atan2", [1.0, 1.0]) == pytest.approx(math.pi / 4)
+
+    def test_max_min_variadic(self):
+        assert call_intrinsic("max", [1, 5, 3]) == 5
+        assert call_intrinsic("amax1", [1.0, 5.0, 3.0]) == 5.0
+        assert call_intrinsic("min0", [4, 2]) == 2
+        assert call_intrinsic("amin1", [4.0, 2.0]) == 2.0
+
+    def test_amax1_returns_float(self):
+        assert isinstance(call_intrinsic("amax1", [1, 2]), float)
+
+    def test_mod_sign_of_first_arg(self):
+        assert call_intrinsic("mod", [7, 3]) == 1
+        assert call_intrinsic("mod", [-7, 3]) == -1
+        assert call_intrinsic("mod", [7, -3]) == 1
+
+    def test_sign(self):
+        assert call_intrinsic("sign", [3.0, -1.0]) == -3.0
+        assert call_intrinsic("sign", [-3.0, 2.0]) == 3.0
+        assert call_intrinsic("isign", [5, -1]) == -5
+
+    def test_conversions(self):
+        assert call_intrinsic("int", [3.9]) == 3
+        assert call_intrinsic("int", [-3.9]) == -3
+        assert call_intrinsic("nint", [3.6]) == 4
+        assert call_intrinsic("float", [3]) == 3.0
+        assert call_intrinsic("dble", [2]) == 2.0
+        assert call_intrinsic("aint", [2.7]) == 2.0
+
+    def test_char_functions(self):
+        assert call_intrinsic("len", ["abc"]) == 3
+        assert call_intrinsic("index", ["hello", "ll"]) == 3
+        assert call_intrinsic("ichar", ["A"]) == 65
+
+
+class TestErrors:
+    def test_unknown_intrinsic(self):
+        with pytest.raises(InterpError):
+            call_intrinsic("frobnicate", [1])
+
+    def test_domain_error_wrapped(self):
+        with pytest.raises(InterpError):
+            call_intrinsic("sqrt", [-1.0])

@@ -1,0 +1,91 @@
+"""IoManager unit behavior."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.interp.io_runtime import IoManager
+
+
+class TestInput:
+    def test_whitespace_tokens(self):
+        io = IoManager()
+        io.provide_input(5, "1 2.5\n  3e2  ")
+        assert io.read_value(5) == 1
+        assert io.read_value(5) == 2.5
+        assert io.read_value(5) == 300.0
+
+    def test_d_exponent(self):
+        io = IoManager()
+        io.provide_input(5, "1.5d2")
+        assert io.read_value(5) == 150.0
+
+    def test_negative_numbers(self):
+        io = IoManager()
+        io.provide_input(5, "-3 -2.5")
+        assert io.read_value(5) == -3
+        assert io.read_value(5) == -2.5
+
+    def test_provide_values(self):
+        io = IoManager()
+        io.provide_values(9, [1, 2.5])
+        assert io.read_value(9) == 1
+        assert io.read_value(9) == 2.5
+
+    def test_exhaustion(self):
+        io = IoManager()
+        io.provide_input(5, "1")
+        io.read_value(5)
+        with pytest.raises(InterpError):
+            io.read_value(5)
+
+    def test_bad_token(self):
+        io = IoManager()
+        io.provide_input(5, "abc")
+        with pytest.raises(InterpError):
+            io.read_value(5)
+
+    def test_units_independent(self):
+        io = IoManager()
+        io.provide_input(5, "1")
+        io.provide_input(7, "2")
+        assert io.read_value(7) == 2
+        assert io.remaining_input(5) == 1
+
+
+class TestOutput:
+    def test_write_and_read_back(self):
+        io = IoManager()
+        io.write_line(6, ["x", 1, 2.5])
+        io.write_line(6, [True])
+        assert io.output(6) == "x 1 2.5\nT"
+        assert io.output_lines(6) == ["x 1 2.5", "T"]
+
+    def test_float_formatting(self):
+        io = IoManager()
+        io.write_line(6, [1.0, 0.000123456789, 3.14159265358979])
+        assert io.output(6) == "1 0.000123457 3.14159"
+
+    def test_bool_rendering(self):
+        io = IoManager()
+        io.write_line(6, [True, False])
+        assert io.output(6) == "T F"
+
+    def test_units_separate(self):
+        io = IoManager()
+        io.write_line(6, ["six"])
+        io.write_line(9, ["nine"])
+        assert io.output(6) == "six"
+        assert io.output(9) == "nine"
+
+    def test_empty_output(self):
+        assert IoManager().output(6) == ""
+
+
+class TestOpenClose:
+    def test_open_initializes(self):
+        io = IoManager()
+        io.open(9, "data.txt")
+        assert io.remaining_input(9) == 0
+        io.close(9)
+        # closing twice is harmless
+        io.close(9)

@@ -1,0 +1,163 @@
+"""OffsetArray semantics: Fortran bounds, sections, equality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpError
+from repro.interp.values import OffsetArray, coerce_assign, fortran_div
+
+
+class TestConstruction:
+    def test_default_lower_bound_one(self):
+        a = OffsetArray((3, 4))
+        assert a.lower == (1, 1)
+        assert a.upper == (3, 4)
+
+    def test_from_bounds(self):
+        a = OffsetArray.from_bounds([(0, 5), (-2, 2)])
+        assert a.shape == (6, 5)
+        assert a.lower == (0, -2)
+        assert a.bounds == [(0, 5), (-2, 2)]
+
+    def test_wrap_no_copy(self):
+        data = np.zeros((2, 2))
+        a = OffsetArray.wrap(data, (1, 1))
+        data[0, 0] = 7.0
+        assert a.get(1, 1) == 7.0
+
+    def test_rank_mismatch(self):
+        with pytest.raises(InterpError):
+            OffsetArray((3,), (1, 1))
+
+    def test_negative_extent(self):
+        with pytest.raises(InterpError):
+            OffsetArray((-1,))
+
+
+class TestElementAccess:
+    def test_get_set(self):
+        a = OffsetArray.from_bounds([(0, 3)])
+        a.set(5.0, 0)
+        a.set(7.0, 3)
+        assert a.get(0) == 5.0
+        assert a.get(3) == 7.0
+
+    def test_bounds_check_low(self):
+        a = OffsetArray.from_bounds([(2, 5)])
+        with pytest.raises(InterpError):
+            a.get(1)
+
+    def test_bounds_check_high(self):
+        a = OffsetArray.from_bounds([(2, 5)])
+        with pytest.raises(InterpError):
+            a.set(0.0, 6)
+
+    def test_wrong_subscript_count(self):
+        a = OffsetArray((3, 3))
+        with pytest.raises(InterpError):
+            a.get(1)
+
+    def test_integer_array_returns_int(self):
+        a = OffsetArray((2,), dtype=np.int64)
+        a.set(3, 1)
+        assert isinstance(a.get(1), int)
+
+    def test_logical_array_returns_bool(self):
+        a = OffsetArray((2,), dtype=np.bool_)
+        a.set(True, 2)
+        assert a.get(2) is True
+
+
+class TestSections:
+    def test_section_view(self):
+        a = OffsetArray.from_bounds([(1, 4), (1, 3)])
+        a.data[...] = np.arange(12).reshape(4, 3)
+        sec = a.section([(2, 3), (1, 3)])
+        assert sec.shape == (2, 3)
+        assert np.array_equal(sec, a.data[1:3, :])
+
+    def test_section_is_view(self):
+        a = OffsetArray.from_bounds([(1, 4)])
+        sec = a.section([(2, 3)])
+        sec[...] = 9.0
+        assert a.get(2) == 9.0
+
+    def test_set_section(self):
+        a = OffsetArray.from_bounds([(0, 5)])
+        a.set_section([(1, 3)], np.array([1.0, 2.0, 3.0]))
+        assert a.get(2) == 2.0
+
+    def test_section_out_of_bounds(self):
+        a = OffsetArray.from_bounds([(1, 4)])
+        with pytest.raises(InterpError):
+            a.section([(0, 2)])
+
+    def test_section_inverted_range(self):
+        a = OffsetArray.from_bounds([(1, 4)])
+        with pytest.raises(InterpError):
+            a.section([(3, 2)])
+
+
+class TestEqualityAndCopy:
+    def test_equality(self):
+        a = OffsetArray.from_bounds([(0, 2)])
+        b = OffsetArray.from_bounds([(0, 2)])
+        assert a == b
+        b.set(1.0, 1)
+        assert a != b
+
+    def test_lower_bound_matters(self):
+        a = OffsetArray((3,), (0,))
+        b = OffsetArray((3,), (1,))
+        assert a != b
+
+    def test_copy_independent(self):
+        a = OffsetArray((2,))
+        c = a.copy()
+        c.set(5.0, 1)
+        assert a.get(1) == 0.0
+
+
+class TestHelpers:
+    def test_coerce_assign(self):
+        assert coerce_assign("integer", 3.9) == 3
+        assert coerce_assign("integer", -3.9) == -3
+        assert coerce_assign("real", 3) == 3.0
+        assert isinstance(coerce_assign("real", 3), float)
+        assert coerce_assign("logical", 1) is True
+
+    def test_fortran_div_truncates_toward_zero(self):
+        assert fortran_div(7, 2) == 3
+        assert fortran_div(-7, 2) == -3
+        assert fortran_div(7, -2) == -3
+        assert fortran_div(-7, -2) == 3
+
+    def test_fortran_div_real(self):
+        assert fortran_div(7.0, 2) == 3.5
+
+    def test_fortran_div_zero(self):
+        with pytest.raises(InterpError):
+            fortran_div(1, 0)
+
+
+@given(lo=st.integers(-5, 5), n=st.integers(1, 8),
+       idx=st.integers(0, 7))
+@settings(max_examples=60, deadline=None)
+def test_property_offset_indexing(lo, n, idx):
+    """Element (lo + k) of an array with lower bound lo is data[k]."""
+    a = OffsetArray.from_bounds([(lo, lo + n - 1)])
+    k = idx % n
+    a.set(float(k + 1), lo + k)
+    assert a.data[k] == k + 1
+    assert a.get(lo + k) == k + 1
+
+
+@given(lo=st.integers(-4, 4), n=st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_property_full_section_roundtrip(lo, n):
+    a = OffsetArray.from_bounds([(lo, lo + n - 1)])
+    values = np.arange(n, dtype=float)
+    a.set_section([(lo, lo + n - 1)], values)
+    assert np.array_equal(a.section([(lo, lo + n - 1)]), values)

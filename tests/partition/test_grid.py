@@ -1,0 +1,77 @@
+"""Balanced extent splitting and grid geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.grid import GridGeometry, Subgrid, split_extent
+
+
+class TestSplitExtent:
+    def test_even(self):
+        assert split_extent(10, 2) == [(1, 5), (6, 10)]
+
+    def test_remainder_spread_first(self):
+        assert split_extent(10, 3) == [(1, 4), (5, 7), (8, 10)]
+
+    def test_single_part(self):
+        assert split_extent(7, 1) == [(1, 7)]
+
+    def test_all_singletons(self):
+        assert split_extent(3, 3) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_too_many_parts(self):
+        with pytest.raises(PartitionError):
+            split_extent(2, 3)
+
+    def test_zero_parts(self):
+        with pytest.raises(PartitionError):
+            split_extent(5, 0)
+
+
+@given(n=st.integers(1, 500), p=st.integers(1, 16))
+@settings(max_examples=100, deadline=None)
+def test_property_split_invariants(n, p):
+    if p > n:
+        with pytest.raises(PartitionError):
+            split_extent(n, p)
+        return
+    ranges = split_extent(n, p)
+    # coverage: contiguous, 1..n
+    assert ranges[0][0] == 1
+    assert ranges[-1][1] == n
+    for (lo1, hi1), (lo2, _hi2) in zip(ranges, ranges[1:]):
+        assert lo2 == hi1 + 1
+    # balance: sizes differ by at most one (the paper's equal demarcation)
+    sizes = [hi - lo + 1 for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == n
+
+
+class TestSubgrid:
+    def test_shape_and_points(self):
+        s = Subgrid((0, 1), ((1, 5), (6, 10)))
+        assert s.shape == (5, 5)
+        assert s.points == 25
+
+    def test_face_size(self):
+        s = Subgrid((0,), ((1, 4), (1, 3), (1, 2)))
+        assert s.face_size(0) == 6
+        assert s.face_size(1) == 8
+        assert s.face_size(2) == 12
+
+
+class TestGridGeometry:
+    def test_ok(self):
+        g = GridGeometry((99, 41, 13))
+        assert g.ndims == 3
+        assert g.points == 99 * 41 * 13
+
+    def test_bad_rank(self):
+        with pytest.raises(PartitionError):
+            GridGeometry((2, 2, 2, 2))
+
+    def test_bad_extent(self):
+        with pytest.raises(PartitionError):
+            GridGeometry((0, 5))

@@ -1,0 +1,74 @@
+"""Ghost-layer declaration bounds for local arrays."""
+
+from repro.partition.grid import GridGeometry
+from repro.partition.halo import GhostSpec, ghost_bounds
+from repro.partition.partitioner import Partition
+
+
+def bounds(rank, dims=(2, 1), grid=(10, 6), orig=None, ghosts=None,
+           dim_map=(0, 1)):
+    p = Partition(GridGeometry(grid), dims)
+    if orig is None:
+        orig = [(1, grid[0]), (1, grid[1])]
+    if ghosts is None:
+        ghosts = GhostSpec.uniform(len(grid), 1)
+    return ghost_bounds(p, rank, dim_map, orig, ghosts)
+
+
+class TestBasic:
+    def test_interior_face_gets_ghost(self):
+        # rank 0 owns 1..5; its plus face gets one ghost layer
+        assert bounds(0) == [(1, 6), (1, 6)]
+
+    def test_minus_face_gets_ghost(self):
+        assert bounds(1) == [(5, 10), (1, 6)]
+
+    def test_uncut_dim_keeps_full_extent(self):
+        b = bounds(0, dims=(2, 1))
+        assert b[1] == (1, 6)
+
+    def test_ghost_width_two(self):
+        b = bounds(0, ghosts=GhostSpec(((2, 2), (2, 2))))
+        assert b[0] == (1, 7)
+
+    def test_asymmetric_ghosts(self):
+        b = bounds(1, ghosts=GhostSpec(((2, 0), (0, 0))))
+        assert b[0] == (4, 10)
+
+
+class TestBoundaryPadding:
+    def test_padded_declaration_kept_on_boundary_ranks(self):
+        # the sequential code declared v(0:11, 6): padding columns belong
+        # to the rank owning the physical boundary
+        b = bounds(0, orig=[(0, 11), (1, 6)])
+        assert b[0] == (0, 6)
+        b = bounds(1, orig=[(0, 11), (1, 6)])
+        assert b[0] == (5, 11)
+
+    def test_middle_rank_no_padding(self):
+        b = bounds(1, dims=(3, 1), grid=(12, 6), orig=[(0, 13), (1, 6)])
+        # middle rank owns 5..8 plus one ghost each side
+        assert b[0] == (4, 9)
+
+
+class TestExtendedDims:
+    def test_unmapped_dim_untouched(self):
+        p = Partition(GridGeometry((10, 6)), (2, 1))
+        b = ghost_bounds(p, 0, (0, 1, None), [(1, 10), (1, 6), (1, 5)],
+                         GhostSpec.uniform(2, 1))
+        assert b[2] == (1, 5)
+
+    def test_dim_map_reorders(self):
+        p = Partition(GridGeometry((10, 6)), (2, 1))
+        # array dim 0 is extended, dim 1 carries grid dim 0
+        b = ghost_bounds(p, 1, (None, 0), [(1, 3), (1, 10)],
+                         GhostSpec.uniform(2, 1))
+        assert b[0] == (1, 3)
+        assert b[1] == (5, 10)
+
+
+class TestGhostSpec:
+    def test_uniform(self):
+        g = GhostSpec.uniform(3, 2)
+        assert g.width(0) == (2, 2)
+        assert g.width(2) == (2, 2)

@@ -1,0 +1,146 @@
+"""Partition selection and communication volume (§4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.grid import GridGeometry
+from repro.partition.partitioner import (
+    Partition,
+    choose_partition,
+    communication_volume,
+    factorizations,
+)
+
+
+class TestPartitionGeometry:
+    def test_size(self):
+        p = Partition(GridGeometry((8, 8)), (2, 2))
+        assert p.size == 4
+
+    def test_coords_roundtrip(self):
+        p = Partition(GridGeometry((8, 8, 8)), (2, 2, 2))
+        for rank in range(p.size):
+            assert p.rank_of(p.coords_of(rank)) == rank
+
+    def test_row_major_last_dim_fastest(self):
+        p = Partition(GridGeometry((8, 8)), (2, 3))
+        assert p.coords_of(0) == (0, 0)
+        assert p.coords_of(1) == (0, 1)
+        assert p.coords_of(3) == (1, 0)
+
+    def test_subgrids_cover_grid(self):
+        p = Partition(GridGeometry((9, 7)), (2, 3))
+        points = sum(s.points for s in p.subgrids())
+        assert points == 63
+
+    def test_neighbors(self):
+        p = Partition(GridGeometry((8, 8)), (4, 1))
+        assert p.neighbor(0, 0, -1) is None
+        assert p.neighbor(0, 0, +1) == 1
+        assert p.neighbor(3, 0, +1) is None
+
+    def test_cut_dims(self):
+        p = Partition(GridGeometry((8, 8, 8)), (2, 1, 4))
+        assert p.cut_dims == (0, 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(PartitionError):
+            Partition(GridGeometry((4, 4)), (5, 1))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(PartitionError):
+            Partition(GridGeometry((4, 4)), (2, 2, 1))
+
+
+class TestCommunicationVolume:
+    def test_two_ranks_one_face_each(self):
+        p = Partition(GridGeometry((10, 6)), (2, 1))
+        max_comm, total = communication_volume(p)
+        assert max_comm == 6
+        assert total == 12
+
+    def test_interior_rank_has_two_faces(self):
+        p = Partition(GridGeometry((12, 6)), (3, 1))
+        max_comm, _ = communication_volume(p)
+        assert max_comm == 12  # middle rank: two faces of 6
+
+    def test_distance_scales(self):
+        p = Partition(GridGeometry((10, 6)), (2, 1))
+        assert communication_volume(p, distance=2)[0] == 12
+
+    def test_demarcation_points(self):
+        p = Partition(GridGeometry((10, 10)), (2, 2))
+        # each rank: two neighbors, faces of 5 each
+        assert p.demarcation_points(0) == 10
+
+
+class TestFactorizations:
+    def test_count_1d(self):
+        assert factorizations(6, 1) == [(6,)]
+
+    def test_2d(self):
+        assert set(factorizations(4, 2)) == {(1, 4), (2, 2), (4, 1)}
+
+    def test_3d_product(self):
+        for dims in factorizations(12, 3):
+            assert math.prod(dims) == 12
+
+    @given(p=st.integers(1, 24), nd=st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_property_products(self, p, nd):
+        fs = factorizations(p, nd)
+        assert len(set(fs)) == len(fs)
+        for dims in fs:
+            assert math.prod(dims) == p
+
+
+class TestChoosePartition:
+    def test_cuts_longest_dimension_for_two(self):
+        # the paper's Table 2 reasoning: on 2 processors the best cut is
+        # the longest dimension (99)
+        p = choose_partition(GridGeometry((99, 41, 13)), 2)
+        assert p.dims == (2, 1, 1)
+
+    def test_four_procs_minimizes_worst_rank(self):
+        grid = GridGeometry((100, 100))
+        p = choose_partition(grid, 4)
+        # 2x2 gives each rank 2 faces of 50 = 100; 4x1 gives the interior
+        # ranks 2 faces of 100 = 200 — 2x2 wins
+        assert p.dims == (2, 2)
+
+    def test_elongated_grid_prefers_1d(self):
+        p = choose_partition(GridGeometry((1000, 10)), 4)
+        assert p.dims == (4, 1)
+
+    def test_single_processor(self):
+        p = choose_partition(GridGeometry((10, 10)), 1)
+        assert p.dims == (1, 1)
+
+    def test_impossible(self):
+        with pytest.raises(PartitionError):
+            choose_partition(GridGeometry((2, 2)), 5)
+
+    def test_zero_processors(self):
+        with pytest.raises(PartitionError):
+            choose_partition(GridGeometry((4, 4)), 0)
+
+    @given(n=st.integers(6, 60), m=st.integers(6, 60),
+           procs=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_choice_is_optimal(self, n, m, procs):
+        grid = GridGeometry((n, m))
+        try:
+            best = choose_partition(grid, procs)
+        except PartitionError:
+            return
+        best_comm = communication_volume(best)[0]
+        for dims in factorizations(procs, 2):
+            try:
+                candidate = Partition(grid, dims)
+            except PartitionError:
+                continue
+            assert best_comm <= communication_volume(candidate)[0]

@@ -1,0 +1,230 @@
+"""Point-to-point and collective communication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RuntimeCommError
+from repro.runtime import spmd_run
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, {"x": 42})
+                return None
+            return comm.recv(0)
+
+        w = spmd_run(2, body)
+        assert w.results[1] == {"x": 42}
+
+    def test_numpy_payload_copied(self):
+        def body(comm):
+            if comm.rank == 0:
+                buf = np.ones(4)
+                comm.send(1, buf)
+                buf[...] = 99.0  # must not affect the message
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(0)
+
+        w = spmd_run(2, body)
+        assert np.array_equal(w.results[1], np.ones(4))
+
+    def test_tag_matching(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "a", tag=1)
+                comm.send(1, "b", tag=2)
+                return None
+            second = comm.recv(0, tag=2)
+            first = comm.recv(0, tag=1)
+            return (first, second)
+
+        w = spmd_run(2, body)
+        assert w.results[1] == ("a", "b")
+
+    def test_any_source(self):
+        def body(comm):
+            if comm.rank != 0:
+                comm.send(0, comm.rank)
+                return None
+            got = {comm.recv(None), comm.recv(None)}
+            return got
+
+        w = spmd_run(3, body)
+        assert w.results[0] == {1, 2}
+
+    def test_fifo_per_source_tag(self):
+        def body(comm):
+            if comm.rank == 0:
+                for k in range(5):
+                    comm.send(1, k)
+                return None
+            return [comm.recv(0) for _ in range(5)]
+
+        w = spmd_run(2, body)
+        assert w.results[1] == list(range(5))
+
+    def test_sendrecv(self):
+        def body(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(peer, comm.rank * 10, source=peer)
+
+        w = spmd_run(2, body)
+        assert w.results == [10, 0]
+
+    def test_isend_irecv(self):
+        def body(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, "hello")
+                req.wait()
+                return None
+            req = comm.irecv(0)
+            return req.wait()
+
+        w = spmd_run(2, body)
+        assert w.results[1] == "hello"
+
+    def test_probe(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, 1, tag=9)
+                comm.barrier()
+                return None
+            comm.barrier()
+            assert comm.probe(0, 9)
+            assert not comm.probe(0, 8)
+            comm.recv(0, 9)
+            return True
+
+        spmd_run(2, body)
+
+    def test_bad_rank(self):
+        def body(comm):
+            comm.send(5, 1)
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body)
+
+    def test_recv_timeout(self):
+        def body(comm):
+            if comm.rank == 1:
+                comm.recv(0)  # never sent
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=0.3)
+
+
+class TestCollectives:
+    def test_barrier_all(self):
+        order = []
+
+        def body(comm):
+            comm.barrier()
+            order.append(comm.rank)
+            comm.barrier()
+            return len(order)
+
+        w = spmd_run(3, body)
+        assert all(r == 3 for r in w.results)
+
+    def test_bcast(self):
+        def body(comm):
+            value = [1, 2, 3] if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        w = spmd_run(4, body)
+        assert all(r == [1, 2, 3] for r in w.results)
+
+    def test_reduce_sum(self):
+        def body(comm):
+            return comm.reduce(comm.rank + 1, "sum", root=0)
+
+        w = spmd_run(4, body)
+        assert w.results[0] == 10
+        assert w.results[1] is None
+
+    def test_allreduce_ops(self):
+        def body(comm):
+            x = float(comm.rank + 1)
+            return (comm.allreduce(x, "sum"), comm.allreduce(x, "max"),
+                    comm.allreduce(x, "min"), comm.allreduce(x, "prod"))
+
+        w = spmd_run(3, body)
+        assert all(r == (6.0, 3.0, 1.0, 6.0) for r in w.results)
+
+    def test_allreduce_numpy(self):
+        def body(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), "max")
+
+        w = spmd_run(3, body)
+        for r in w.results:
+            assert np.array_equal(r, np.full(3, 2.0))
+
+    def test_gather(self):
+        def body(comm):
+            return comm.gather(comm.rank ** 2, root=1)
+
+        w = spmd_run(3, body)
+        assert w.results[1] == [0, 1, 4]
+        assert w.results[0] is None
+
+    def test_allgather(self):
+        def body(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        w = spmd_run(3, body)
+        assert all(r == ["a", "b", "c"] for r in w.results)
+
+    def test_scatter(self):
+        def body(comm):
+            values = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        w = spmd_run(3, body)
+        assert w.results == [10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def body(comm):
+            values = [1] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=1.0)
+
+    def test_unknown_reduce_op(self):
+        def body(comm):
+            comm.allreduce(1, "median")
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=1.0)
+
+    def test_interleaved_collectives_and_p2p(self):
+        def body(comm):
+            total = comm.allreduce(comm.rank, "sum")
+            if comm.rank == 0:
+                comm.send(1, total)
+            if comm.rank == 1:
+                assert comm.recv(0) == total
+            comm.barrier()
+            return comm.bcast(total if comm.rank == 0 else None)
+
+        w = spmd_run(2, body)
+        assert w.results == [1, 1]
+
+
+@given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=5),
+       op=st.sampled_from(["sum", "max", "min"]))
+@settings(max_examples=20, deadline=None)
+def test_property_allreduce_matches_python(values, op):
+    impl = {"sum": sum, "max": max, "min": min}[op]
+
+    def body(comm):
+        return comm.allreduce(values[comm.rank], op)
+
+    w = spmd_run(len(values), body)
+    assert all(r == impl(values) for r in w.results)

@@ -1,0 +1,132 @@
+"""Aggregated halo exchange over distributed OffsetArrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeCommError
+from repro.interp.values import OffsetArray
+from repro.partition.grid import GridGeometry
+from repro.partition.halo import GhostSpec, ghost_bounds
+from repro.partition.partitioner import Partition
+from repro.runtime import CartComm, HaloExchanger, HaloSpec, spmd_run
+
+
+def global_field(shape):
+    """A distinguishable global array: value encodes the coordinates."""
+    arr = OffsetArray(tuple(shape))
+    it = np.ndindex(*shape)
+    for idx in it:
+        arr.data[idx] = sum((c + 1) * 100 ** d for d, c in enumerate(idx))
+    return arr
+
+
+def distributed_run(grid_shape, dims, dist, arrays=1):
+    """Each rank owns a block + ghosts; after exchange, every ghost cell
+    must equal the global field value at its coordinate."""
+    grid = GridGeometry(grid_shape)
+    part = Partition(grid, dims)
+    ndims = len(grid_shape)
+    reference = global_field(grid_shape)
+    ghosts = GhostSpec(tuple(dist for _ in range(ndims)))
+    dim_map = tuple(range(ndims))
+
+    def body(comm):
+        cart = CartComm(comm, dims)
+        sub = part.subgrid(comm.rank)
+        bounds = ghost_bounds(part, comm.rank, dim_map,
+                              [(1, n) for n in grid_shape], ghosts)
+        locals_ = []
+        for _k in range(arrays):
+            local = OffsetArray.from_bounds(bounds, name="v")
+            local.set_section(list(sub.owned),
+                              reference.section(list(sub.owned)))
+            locals_.append(local)
+        specs = [HaloSpec(a, dim_map, sub.owned,
+                          tuple(dist for _ in range(ndims)))
+                 for a in locals_]
+        HaloExchanger(cart, specs).exchange()
+        # every cell of the local array (owned + ghost) now matches
+        for a in locals_:
+            got = a.section(a.bounds)
+            want = reference.section(a.bounds)
+            assert np.array_equal(got, want), \
+                f"rank {comm.rank} ghost mismatch"
+        return True
+
+    w = spmd_run(int(np.prod(dims)), body)
+    assert all(w.results)
+    return w
+
+
+class TestExchange1D:
+    def test_two_ranks(self):
+        distributed_run((12,), (2,), (1, 1))
+
+    def test_four_ranks(self):
+        distributed_run((13,), (4,), (1, 1))
+
+    def test_distance_two(self):
+        distributed_run((16,), (2,), (2, 2))
+
+    def test_asymmetric_distance(self):
+        distributed_run((16,), (4,), (2, 0))
+
+
+class TestExchange2D:
+    def test_2x2(self):
+        distributed_run((8, 8), (2, 2), (1, 1))
+
+    def test_4x1(self):
+        distributed_run((8, 6), (4, 1), (1, 1))
+
+    def test_2x3_uneven(self):
+        distributed_run((7, 9), (2, 3), (1, 1))
+
+    def test_corners_via_two_phase(self):
+        # the dimension-ordered exchange must deliver diagonal values
+        # (needed by 9-point stencils); checked by full-field equality
+        distributed_run((6, 6), (2, 2), (1, 1))
+
+
+class TestExchange3D:
+    def test_2x2x2(self):
+        distributed_run((6, 6, 6), (2, 2, 2), (1, 1))
+
+    def test_3x2x1(self):
+        distributed_run((9, 6, 4), (3, 2, 1), (1, 1))
+
+
+class TestAggregation:
+    def test_multiple_arrays_one_message_per_neighbor(self):
+        w = distributed_run((12,), (2,), (1, 1), arrays=3)
+        sends = w.trace.messages(rank=0)
+        # one aggregated message to the single neighbor (3 arrays inside)
+        assert len(sends) == 1
+
+    def test_exchange_event_recorded(self):
+        w = distributed_run((12,), (2,), (1, 1))
+        assert w.trace.count("exchange") == 2  # one per rank
+
+
+class TestErrors:
+    def test_payload_count_mismatch(self):
+        def body(comm):
+            cart = CartComm(comm, (2,))
+            a = OffsetArray.from_bounds([(1, 6)], name="v")
+            sub_owned = ((1, 5),) if comm.rank == 0 else ((6, 10),)
+            a = OffsetArray.from_bounds(
+                [(1, 6)] if comm.rank == 0 else [(5, 10)], name="v")
+            spec = HaloSpec(a, (0,), sub_owned, ((1, 1),))
+            if comm.rank == 0:
+                # rank 0 sends two arrays, rank 1 expects one
+                HaloExchanger(cart, [spec, spec]).exchange()
+            else:
+                HaloExchanger(cart, [spec]).exchange()
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=5.0)
+
+    def test_dim_map_rank_mismatch(self):
+        a = OffsetArray((4, 4))
+        with pytest.raises(RuntimeCommError):
+            HaloSpec(a, (0,), ((1, 4), (1, 4)), ((1, 1), (1, 1)))

@@ -1,0 +1,73 @@
+"""Calibration utility: fitting the model to target speedups."""
+
+from repro.core import AutoCFD
+from repro.simulate.calibrate import Observation, calibrate, score
+from repro.simulate.machine import MachineModel, NodeModel
+from repro.simulate.network import NetworkModel
+
+from tests.conftest import JACOBI_SRC
+
+
+def build_plans():
+    acfd = AutoCFD.from_source(JACOBI_SRC)
+    parts = [(2, 1), (2, 2)]
+    plans = {p: acfd.compile(partition=p).plan for p in parts}
+    seq = acfd.compile(partition=(1, 1)).plan
+    return plans, seq
+
+
+class TestScore:
+    def test_perfect_fit_zero_error(self):
+        plans, seq = build_plans()
+        machine = MachineModel(NodeModel(flop_time=5e-8))
+        network = NetworkModel(latency=1e-3, bandwidth=0.4e6)
+        # first measure what the model produces, then score against it
+        err, fits = score(plans, seq, [Observation((2, 1), 1.0)],
+                          machine, network, chunks=1, frames=20)
+        target = fits[0][2]
+        err2, _ = score(plans, seq, [Observation((2, 1), target)],
+                        machine, network, chunks=1, frames=20)
+        assert err2 < 1e-12
+
+    def test_error_symmetric_in_log(self):
+        plans, seq = build_plans()
+        machine = MachineModel(NodeModel(flop_time=5e-8))
+        network = NetworkModel(latency=1e-3, bandwidth=0.4e6)
+        _, fits = score(plans, seq, [Observation((2, 1), 1.0)],
+                        machine, network, chunks=1, frames=20)
+        real = fits[0][2]
+        over, _ = score(plans, seq, [Observation((2, 1), real * 2)],
+                        machine, network, chunks=1, frames=20)
+        under, _ = score(plans, seq, [Observation((2, 1), real / 2)],
+                         machine, network, chunks=1, frames=20)
+        assert abs(over - under) < 1e-9
+
+
+class TestCalibrate:
+    def test_recovers_reasonable_fit(self):
+        plans, seq = build_plans()
+        observations = [Observation((2, 1), 1.8),
+                        Observation((2, 2), 3.0)]
+        # the kernel is tiny: only a slow CPU (compute-dominated regime)
+        # can reach these speedups — the search must find it
+        result = calibrate(plans, seq, observations,
+                           flop_times=(5e-8, 2e-6),
+                           latencies=(5e-4, 4e-3),
+                           bandwidths=(0.4e6, 1.25e6),
+                           chunk_options=(1,),
+                           frames=20)
+        assert result.machine.node.flop_time == 2e-6
+        assert result.error < 1.0
+        assert len(result.fits) == 2
+        assert "calibration error" in result.summary()
+
+    def test_picks_lower_error_over_alternatives(self):
+        plans, seq = build_plans()
+        observations = [Observation((2, 1), 1.95)]
+        result = calibrate(plans, seq, observations,
+                           flop_times=(5e-8,),
+                           latencies=(5e-4, 8e-3),
+                           bandwidths=(1.25e6,),
+                           chunk_options=(1,), frames=20)
+        # near-ideal speedup requires the cheap network
+        assert result.network.latency == 5e-4

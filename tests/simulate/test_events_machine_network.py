@@ -1,0 +1,107 @@
+"""Discrete-event engine, node model, and network model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulate.events import EventQueue
+from repro.simulate.machine import MachineModel, NodeModel
+from repro.simulate.network import NetworkModel
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(3.0, lambda: seen.append("c"))
+        q.schedule(1.0, lambda: seen.append("a"))
+        q.schedule(2.0, lambda: seen.append("b"))
+        assert q.run() == 3.0
+        assert seen == ["a", "b", "c"]
+
+    def test_stable_ties(self):
+        q = EventQueue()
+        seen = []
+        for k in range(5):
+            q.schedule(1.0, lambda k=k: seen.append(k))
+        q.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_after_relative(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, lambda: q.after(0.5, lambda: seen.append(q.now)))
+        q.run()
+        assert seen == [1.5]
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            q.run()
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.after(1.0, reschedule)
+
+        q.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)
+
+    def test_len(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        assert len(q) == 1
+
+
+class TestNodeModel:
+    def test_in_cache_factor_one(self):
+        node = NodeModel(cache_bytes=1 << 20)
+        assert node.cost_factor(1 << 19) == 1.0
+
+    def test_factor_monotone(self):
+        node = NodeModel()
+        sizes = [2 ** k for k in range(10, 30)]
+        factors = [node.cost_factor(s) for s in sizes]
+        assert all(a <= b for a, b in zip(factors, factors[1:]))
+
+    @given(ws=st.integers(1, 1 << 30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_factor_at_least_one(self, ws):
+        assert NodeModel().cost_factor(ws) >= 1.0
+
+    def test_knee_raises_cost(self):
+        node = NodeModel(knee_bytes=1 << 20)
+        below = node.cost_factor((1 << 20) - 1)
+        above = node.cost_factor(1 << 22)
+        assert above > below + 0.3
+
+    def test_oom_detection(self):
+        node = NodeModel(mem_bytes=1 << 20)
+        assert node.is_oom(1 << 21)
+        assert not node.is_oom(1 << 19)
+        assert node.cost_factor(1 << 21) > node.cost_factor(1 << 20) + 10
+
+    def test_op_time_scales(self):
+        node = NodeModel(flop_time=2e-8)
+        assert node.op_time(0) == 2e-8
+
+
+class TestNetworkModel:
+    def test_message_time(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert net.message_time(1000) == pytest.approx(2e-3)
+
+    def test_injection_no_latency(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert net.injection_time(1000) == pytest.approx(1e-3)
+
+    def test_wire_time(self):
+        net = NetworkModel(bandwidth=2e6)
+        assert net.wire_time(2_000_000) == pytest.approx(1.0)
+
+    def test_machine_value_bytes(self):
+        assert MachineModel().value_bytes == 4

@@ -1,0 +1,157 @@
+"""Interprocedural combining (§5.3, Figure 8): 3 syncs become 1."""
+
+from repro.analysis.dependency import build_sldp
+from repro.analysis.frame import build_frame_program
+from repro.fortran.parser import parse_source
+from repro.sync.combine import combine_regions
+from repro.sync.interproc import subtree_has_rtype, subtree_has_rtype_after
+from repro.sync.regions import upper_bound_region
+
+#: Figure 8: main calls subroutine a twice and subroutine b once; each
+#: callee ends with an A-type loop whose synchronization region reaches
+#: the end of the subroutine.  All three regions hoist into main and,
+#: ending before the R-type loop, combine into a single synchronization.
+FIG8 = """\
+!$acfd status u, v, w, r
+!$acfd grid 8 8
+program fig8
+  integer i, j
+  real u(8, 8), v(8, 8), w(8, 8), r(8, 8)
+  common /f/ u, v, w, r
+  call a()
+  call b()
+  call a()
+  do i = 2, 7
+    do j = 2, 7
+      r(i, j) = u(i - 1, j) + v(i + 1, j) + w(i, j - 1)
+    end do
+  end do
+end
+subroutine a()
+  integer i, j
+  common /f/ u(8, 8), v(8, 8), w(8, 8), r(8, 8)
+  real u, v, w, r
+  do i = 1, 8
+    do j = 1, 8
+      u(i, j) = float(i) + 1.0
+      v(i, j) = float(j) + 2.0
+    end do
+  end do
+end
+subroutine b()
+  integer i, j
+  common /f/ u(8, 8), v(8, 8), w(8, 8), r(8, 8)
+  real u, v, w, r
+  do i = 1, 8
+    do j = 1, 8
+      w(i, j) = float(i + j)
+    end do
+  end do
+end
+"""
+
+
+def setup():
+    frame = build_frame_program(parse_source(FIG8))
+    pairs = build_sldp(frame)
+    return frame, pairs
+
+
+class TestFigure8:
+    def test_three_forward_pairs(self):
+        frame, pairs = setup()
+        fwd = [p for p in pairs if p.kind == "forward"]
+        # u and v from the second call a (the first call's writes are
+        # rewritten by the second — redundant-pair elimination), w from b
+        arrays = sorted(p.array for p in fwd)
+        assert arrays == ["u", "v", "w"]
+
+    def test_regions_hoist_out_of_subroutines(self):
+        frame, pairs = setup()
+        calls = [n for n in frame.nodes if n.kind == "call"]
+        assert len(calls) == 3
+        for pair in pairs:
+            if pair.kind != "forward":
+                continue
+            region = upper_bound_region(frame, pair)
+            owning_call = next(c for c in calls
+                               if c.open < pair.writer.open
+                               and pair.writer.close < c.close)
+            assert region.start >= owning_call.close + 1, \
+                f"{pair.array} region failed to hoist out of the call"
+
+    def test_three_syncs_combine_into_one(self):
+        frame, pairs = setup()
+        regions = [upper_bound_region(frame, p) for p in pairs
+                   if p.kind == "forward"]
+        assert len(regions) == 3
+        groups = combine_regions(regions)
+        assert len(groups) == 1
+        assert sorted(groups[0].arrays) == ["u", "v", "w"]
+
+    def test_combined_placement_in_main_after_last_call(self):
+        frame, pairs = setup()
+        regions = [upper_bound_region(frame, p) for p in pairs
+                   if p.kind == "forward"]
+        group = combine_regions(regions)[0]
+        calls = [n for n in frame.nodes if n.kind == "call"]
+        reader = [p.reader for p in pairs if p.kind == "forward"][0]
+        assert group.placement > max(c.close for c in calls)
+        assert group.placement <= reader.open
+
+
+class TestPredicates:
+    def test_subtree_has_rtype(self):
+        frame, _ = setup()
+        calls = [n for n in frame.nodes if n.kind == "call"]
+        # callees contain no R-type loop on their own written arrays
+        for c in calls:
+            for array in ("u", "v", "w"):
+                assert not subtree_has_rtype(c, array)
+
+    def test_subtree_has_rtype_after(self):
+        frame, _ = setup()
+        root = frame.root
+        assert subtree_has_rtype_after(root, 0, "u")
+        # nothing reads u after the reader loop ends
+        reader = frame.field_loop_instances[-1]
+        assert not subtree_has_rtype_after(root, reader.close + 1, "u")
+
+
+class TestReaderInsideCalleePins:
+    def test_region_stays_inside_call_with_reader(self):
+        src = """\
+!$acfd status u
+!$acfd grid 8 8
+program p
+  real u(8, 8)
+  common /f/ u
+  call ab()
+  call ab()
+end
+subroutine ab()
+  integer i, j
+  common /f/ u(8, 8)
+  real u
+  do i = 1, 8
+    do j = 1, 8
+      u(i, j) = u(i, j) + 1.0
+    end do
+  end do
+  do i = 2, 7
+    do j = 2, 7
+      x = u(i - 1, j)
+    end do
+  end do
+end
+"""
+        frame = build_frame_program(parse_source(src))
+        pairs = build_sldp(frame)
+        # writer -> reader inside the same call instance: the reader after
+        # the writer pins the start inside the subroutine
+        same_call = [p for p in pairs if p.kind == "forward"
+                     and p.writer.call_path == p.reader.call_path]
+        assert same_call
+        for pair in same_call:
+            region = upper_bound_region(frame, pair)
+            assert region.start == pair.writer.close + 1

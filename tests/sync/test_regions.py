@@ -1,0 +1,168 @@
+"""Upper-bound synchronization regions: Figure 5 hoisting and bounds."""
+
+from repro.analysis.dependency import build_sldp
+from repro.analysis.frame import build_frame_program
+from repro.fortran.parser import parse_source
+from repro.sync.regions import upper_bound_region
+
+
+def region_for(src: str, array: str = "v", kind: str | None = None):
+    frame = build_frame_program(parse_source(src))
+    pairs = [p for p in build_sldp(frame)
+             if p.array == array and (kind is None or p.kind == kind)]
+    assert len(pairs) == 1, f"expected one pair, got {pairs}"
+    return frame, pairs[0], upper_bound_region(frame, pairs[0])
+
+
+#: Figure 5: A-type loop buried in L3 ⊂ L2 ⊂ L1; the R-type loop is at L1
+#: level.  L3 and L2 contain no R-type loop so the starting point hoists
+#: out of both; L1 contains the reader so hoisting stops there.
+FIG5 = """\
+!$acfd status v, w
+!$acfd grid 8 8
+program fig5
+  integer i, j, l1, l2, l3
+  real v(8, 8), w(8, 8)
+  do l1 = 1, 3
+    do l2 = 1, 3
+      do l3 = 1, 3
+        do i = 1, 8
+          do j = 1, 8
+            v(i, j) = float(l3)
+          end do
+        end do
+      end do
+    end do
+    do i = 2, 7
+      do j = 2, 7
+        w(i, j) = v(i - 1, j)
+      end do
+    end do
+  end do
+end
+"""
+
+
+class TestFigure5Hoisting:
+    def test_start_hoisted_out_of_l3_and_l2(self):
+        frame, pair, region = region_for(FIG5, kind="forward")
+        # locate the l2 loop instance: the writer's enclosing loops are
+        # [l3, l2, l1] innermost-first
+        loops = pair.writer.enclosing_loops()
+        assert [l.stmt.var for l in loops] == ["l3", "l2", "l1"]
+        l3, l2, l1 = loops
+        assert region.start == l2.close + 1, \
+            "start must hoist to right after L2"
+
+    def test_start_not_hoisted_past_l1(self):
+        frame, pair, region = region_for(FIG5, kind="forward")
+        l1 = pair.writer.enclosing_loops()[-1]
+        assert region.start > l1.open
+        assert region.end <= l1.close
+
+    def test_region_ends_before_reader(self):
+        frame, pair, region = region_for(FIG5, kind="forward")
+        assert region.end == pair.reader.open
+
+    def test_allowed_slots_inside_region(self):
+        _, _, region = region_for(FIG5, kind="forward")
+        assert region.allowed
+        assert all(region.start <= p <= region.end for p in region.allowed)
+
+
+#: Fig 5(b) case 2: the reader precedes the writer inside L1 — the region
+#: runs from after the writer to the end of L1's body (loop-carried).
+FIG5_CASE2 = """\
+!$acfd status v, w
+!$acfd grid 8 8
+program fig5b
+  integer i, j, l1
+  real v(8, 8), w(8, 8)
+  do l1 = 1, 3
+    do i = 2, 7
+      do j = 2, 7
+        w(i, j) = v(i - 1, j)
+      end do
+    end do
+    do i = 1, 8
+      do j = 1, 8
+        v(i, j) = float(l1)
+      end do
+    end do
+  end do
+end
+"""
+
+
+class TestFigure5Case2:
+    def test_carried_region_to_loop_end(self):
+        frame, pair, region = region_for(FIG5_CASE2, kind="carried")
+        carrier = pair.carrier
+        assert carrier.stmt.var == "l1"
+        assert region.end == carrier.close
+
+    def test_start_after_writer(self):
+        frame, pair, region = region_for(FIG5_CASE2, kind="carried")
+        assert region.start >= pair.writer.close + 1
+
+
+class TestUnrelatedLoopExclusion:
+    def test_interior_loop_excluded_from_placement(self):
+        src = """\
+!$acfd status v, w
+!$acfd grid 8 8
+program p
+  integer i, j, k
+  real v(8, 8), w(8, 8), z(5)
+  do i = 1, 8
+    do j = 1, 8
+      v(i, j) = 1.0
+    end do
+  end do
+  do k = 1, 5
+    z(k) = float(k)
+  end do
+  do i = 2, 7
+    do j = 2, 7
+      w(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+        frame, pair, region = region_for(src, kind="forward")
+        # the z loop between them is an O-type (unrelated) loop: its
+        # interior must not be a placement slot
+        z_loops = [n for n in frame.nodes
+                   if n.kind == "loop" and n.stmt.var == "k"]
+        assert len(z_loops) == 1
+        z = z_loops[0]
+        for p in region.allowed:
+            assert not (z.open < p <= z.close), \
+                "sync must not be placed inside an unrelated loop"
+        # but placement before and after the loop is allowed
+        assert z.open in region.allowed
+        assert z.close + 1 in region.allowed
+
+
+class TestDegenerateRegions:
+    def test_writer_immediately_before_reader(self):
+        src = """\
+!$acfd status v, w
+!$acfd grid 8 8
+program p
+  integer i, j
+  real v(8, 8), w(8, 8)
+  do i = 1, 8
+    do j = 1, 8
+      v(i, j) = 1.0
+    end do
+  end do
+  do i = 2, 7
+    do j = 2, 7
+      w(i, j) = v(i - 1, j)
+    end do
+  end do
+end
+"""
+        _, pair, region = region_for(src, kind="forward")
+        assert region.allowed == [pair.writer.close + 1]

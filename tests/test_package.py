@@ -1,0 +1,61 @@
+"""Package-level integrity: imports, exports, version."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.fortran",
+    "repro.interp",
+    "repro.analysis",
+    "repro.partition",
+    "repro.sync",
+    "repro.codegen",
+    "repro.runtime",
+    "repro.simulate",
+    "repro.core",
+    "repro.apps",
+    "repro.cli",
+    "repro.errors",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", [p for p in SUBPACKAGES
+                                  if p not in ("repro.cli", "repro.errors")])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_api():
+    import repro
+
+    assert repro.AutoCFD.__name__ == "AutoCFD"
+    acfd = repro.AutoCFD.from_source("""\
+!$acfd status v
+!$acfd grid 4 4
+program t
+  real v(4, 4)
+  v(1, 1) = 0.0
+end
+""")
+    assert acfd.grid.shape == (4, 4)
+
+
+def test_docstrings_on_public_modules():
+    for name in SUBPACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
