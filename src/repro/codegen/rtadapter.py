@@ -29,7 +29,7 @@ from repro.interp.values import OffsetArray
 from repro.partition.halo import GhostSpec, ghost_bounds
 from repro.runtime.cart import CartComm
 from repro.runtime.comm import Communicator
-from repro.runtime.halo import HaloExchanger, HaloSpec
+from repro.runtime.halo import HaloExchanger, HaloSpec, shared_pool
 from repro.runtime.trace import TraceEvent
 
 _PIPE_TAG_BASE = 1 << 17
@@ -105,31 +105,33 @@ class RankRuntime:
         """Blocking receive of pipelined new values from minus neighbors."""
         pipe = self.plan.pipes[int(pipe_id) - 1]
         specs = self._pipe_specs(pipe, arrays)
+        pool = shared_pool()
         for g in pipe.pipeline_dims:
-            neighbor = self.cart.neighbor(g, -1)
-            if neighbor is None:
-                continue
             tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
-            payload = self.comm.recv(neighbor, tag)
+            payload = self.cart.recv_dir(g, -1, tag)
+            if payload is None:
+                continue
             for spec, section in zip(specs, payload):
                 ranges = spec.recv_ranges(g, -1)
                 if ranges is not None:
                     spec.array.set_section(ranges, section)
+                pool.release(section)
 
     def pipe_send(self, pipe_id: int, *arrays: OffsetArray) -> None:
         """Ship freshly computed plus-edge layers down the pipeline."""
         pipe = self.plan.pipes[int(pipe_id) - 1]
         specs = self._pipe_specs(pipe, arrays)
+        pool = shared_pool()
         for g in pipe.pipeline_dims:
             neighbor = self.cart.neighbor(g, +1)
             if neighbor is None:
                 continue
             tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
-            payload = [spec.send_section(g, +1) for spec in specs]
+            payload = [spec.send_section(g, +1, pool) for spec in specs]
             # marker event only (comm.send records the payload bytes)
             self.comm.trace.record(TraceEvent(
                 self.comm.rank, "pipeline_send", neighbor, 0, tag))
-            self.comm.send(neighbor, payload, tag)
+            self.cart.send_dir(g, +1, payload, tag, move=True)
 
     def _pipe_specs(self, pipe, arrays) -> list[HaloSpec]:
         if len(arrays) != len(pipe.arrays):

@@ -43,6 +43,14 @@ class ParallelResult:
     def trace(self) -> Trace:
         return self.world.trace
 
+    @property
+    def comm_stats(self) -> dict:
+        """Aggregate runtime communication accounting: message/sync counts,
+        payload bytes, wall-time ranks spent blocked (``wait_s``), and the
+        bytes the zero-copy halo path avoided duplicating
+        (``saved_bytes``)."""
+        return self.world.trace.comm_stats()
+
     def array(self, name: str) -> OffsetArray:
         try:
             return self.arrays[name]

@@ -63,6 +63,11 @@ class RuntimeCommError(ReproError):
     collective participation, deadlock watchdog trips...)."""
 
 
+class RuntimeDeadlockError(RuntimeCommError):
+    """Raised when the deadlock detector proves no rank can make progress;
+    the message carries the wait-for cycle and a full blocked-rank snapshot."""
+
+
 class InterpError(ReproError):
     """Raised by the Fortran interpreter / Python backend at execution time."""
 

@@ -4,27 +4,52 @@ Semantics follow MPI closely enough for generated SPMD programs:
 
 * ``send`` is buffered (returns immediately; payload deep-copied so the
   sender can reuse its buffer — exactly the guarantee MPI's buffered mode
-  gives and what halo-exchange codes assume);
-* ``recv`` blocks until a matching ``(source, tag)`` message arrives,
-  with a watchdog timeout so broken programs fail loudly instead of
-  hanging the test suite;
+  gives and what halo-exchange codes assume).  ``send(..., move=True)``
+  is the zero-copy fast path: the caller *transfers ownership* of the
+  payload (it must not touch the buffer afterwards), which the halo
+  exchanger uses for freshly packed contiguous sections;
+* ``recv`` blocks until a matching ``(source, tag)`` message arrives.
+  Matching is indexed per ``(source, tag)`` — O(1) for exact receives,
+  O(#distinct pending keys) for wildcards — and receivers sleep on a
+  condition variable until a matching ``put`` wakes them (no polling
+  tick).  Delivery is FIFO per (source, tag) pair and globally ordered
+  for wildcard receives (lowest arrival sequence wins);
+* a :class:`DeadlockDetector` shared by the world snapshots what every
+  rank is blocked on; when every live rank is blocked with no deliverable
+  message in flight it fails the world immediately with the wait-for
+  cycle in the error, instead of letting the wall-clock watchdog expire;
 * collectives are built from point-to-point fan-in/fan-out on a reserved
-  tag space; every rank must call them in the same order (as in MPI).
+  tag space (user tags must stay below ``2**20``); every rank must call
+  them in the same order (as in MPI).  The up (fan-in) and down
+  (fan-out) phases of ``allreduce`` use *disjoint* tags — ``2*seq`` and
+  ``2*seq + 1`` above the base — so the tag space never self-collides no
+  matter how many collectives a program issues.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import RuntimeCommError
+from repro.errors import RuntimeCommError, RuntimeDeadlockError
 from repro.runtime.trace import Trace, TraceEvent
 
 #: Collective operations reserve tags at and above this value.
 _COLLECTIVE_TAG_BASE = 1 << 20
+
+#: Blocked ranks re-run the deadlock check at most this often (fallback
+#: for detection races; the common path is woken by ``put`` immediately).
+_DETECT_INTERVAL = 0.25
+
+#: A receiver stays unregistered with the deadlock detector for this long
+#: before declaring itself blocked: microsecond-scale waits (the hot path)
+#: never touch the shared detector lock, and a genuine deadlock is still
+#: reported within milliseconds.
+_DETECT_GRACE = 0.005
 
 #: Reduction operators.
 REDUCE_OPS = {
@@ -33,6 +58,12 @@ REDUCE_OPS = {
     "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
     "prod": lambda a, b: a * b,
 }
+
+
+def _collective_tags(seq: int) -> tuple[int, int]:
+    """(up, down) tags for collective *seq* — disjoint for every seq."""
+    up = _COLLECTIVE_TAG_BASE + 2 * seq
+    return up, up + 1
 
 
 def _payload_bytes(obj) -> int:
@@ -68,76 +99,329 @@ class _Message:
     payload: object
 
 
+class _WaitState:
+    """What one blocked rank is waiting on (deadlock-detector record)."""
+
+    __slots__ = ("rank", "op", "source", "tag", "since", "satisfied")
+
+    def __init__(self, rank: int, op: str, source: int | None,
+                 tag: int | None) -> None:
+        self.rank = rank
+        self.op = op  # "recv" | "barrier" | collective name
+        self.source = source
+        self.tag = tag
+        self.since = time.monotonic()
+        #: set (without the detector lock) the moment the wait is over;
+        #: the detector reads it after probing the rank's mailbox, so the
+        #: mailbox lock orders the two and a satisfied rank is never
+        #: counted as blocked.
+        self.satisfied = False
+
+    def describe(self) -> str:
+        if self.op == "barrier":
+            what = "barrier"
+        else:
+            src = "any" if self.source is None else self.source
+            tag = "any" if self.tag is None else self.tag
+            what = f"{self.op}(source={src}, tag={tag})"
+        return f"{what} for {time.monotonic() - self.since:.2f}s"
+
+
+class DeadlockDetector:
+    """Tracks what every rank is blocked on; trips the world on a cycle.
+
+    Lock ordering: the detector lock may be taken first and mailbox /
+    barrier locks acquired under it — never the reverse.  Blocked ranks
+    therefore register *outside* their mailbox condition and only read
+    the lock-free ``diagnosis`` field while holding it.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._lock = threading.Lock()
+        self._waiting: dict[int, _WaitState] = {}
+        self._done: set[int] = set()
+        self._mailboxes: list[_Mailbox] = []
+        self._barrier: threading.Barrier | None = None
+        self._failed: threading.Event | None = None
+        #: full human-readable deadlock report, set exactly once
+        self.diagnosis: str | None = None
+
+    def attach(self, mailboxes: list[_Mailbox], barrier: threading.Barrier,
+               failed: threading.Event) -> None:
+        self._mailboxes = mailboxes
+        self._barrier = barrier
+        self._failed = failed
+
+    # -- rank lifecycle ---------------------------------------------------------
+
+    def block(self, rank: int, op: str, source: int | None = None,
+              tag: int | None = None) -> _WaitState:
+        """Register *rank* as blocked; returns its mutable wait state."""
+        state = _WaitState(rank, op, source, tag)
+        with self._lock:
+            self._waiting[rank] = state
+            self._check_locked()
+        return state
+
+    def unblock(self, rank: int) -> None:
+        with self._lock:
+            self._waiting.pop(rank, None)
+
+    def rank_done(self, rank: int) -> None:
+        """A rank's body returned normally; remaining ranks may now stall."""
+        with self._lock:
+            self._done.add(rank)
+            self._waiting.pop(rank, None)
+            self._check_locked()
+
+    def rank_failed(self, rank: int) -> None:
+        """A rank died: mark it finished and wake every blocked receiver."""
+        with self._lock:
+            self._done.add(rank)
+            self._waiting.pop(rank, None)
+            for box in self._mailboxes:
+                box.wake()
+
+    def check(self) -> None:
+        """Re-run detection (periodic fallback from blocked receivers)."""
+        with self._lock:
+            self._check_locked()
+
+    # -- detection --------------------------------------------------------------
+
+    def _check_locked(self) -> None:
+        if self.diagnosis is not None or not self._mailboxes:
+            return
+        live = [r for r in range(self.size) if r not in self._done]
+        if not live or any(r not in self._waiting for r in live):
+            return  # someone is still computing — progress is possible
+        states = [self._waiting[r] for r in live]
+        barrier_waits = [ws for ws in states if ws.op == "barrier"]
+        if barrier_waits:
+            if len(barrier_waits) == len(states) and len(live) == self.size:
+                return  # a full barrier releases itself
+            if (self._barrier is not None
+                    and self._barrier.n_waiting < len(barrier_waits)):
+                return  # a barrier wait is mid-registration or released
+        for ws in states:
+            # probe first, then re-read the flag: the mailbox lock makes a
+            # take that beat our probe publish ``satisfied`` before we read
+            if ws.op != "barrier" and \
+                    self._mailboxes[ws.rank].probe(ws.source, ws.tag):
+                return  # a deliverable message is in flight
+            if ws.satisfied:
+                return  # that rank is already running again
+        self.diagnosis = self._diagnose(live, states)
+        self._trip()
+
+    def _diagnose(self, live: list[int], states: list[_WaitState]) -> str:
+        cycle = self._find_cycle(states)
+        if cycle:
+            arrow = " -> ".join(f"rank {r}" for r in cycle + cycle[:1])
+            head = f"deadlock detected: wait-for cycle {arrow}"
+        else:
+            head = (f"deadlock detected: all {len(live)} live ranks blocked "
+                    "with no message in flight")
+        return f"{head}\n{self._snapshot_locked()}"
+
+    def _find_cycle(self, states: list[_WaitState]) -> list[int] | None:
+        """Smallest-starting-rank cycle over concrete wait-for edges."""
+        succ = {ws.rank: ws.source for ws in states
+                if ws.op != "barrier" and ws.source is not None}
+        for start in sorted(succ):
+            seen: list[int] = []
+            rank: int | None = start
+            while rank is not None and rank in succ and rank not in seen:
+                seen.append(rank)
+                rank = succ[rank]
+            if rank in seen:
+                return seen[seen.index(rank):]
+        return None
+
+    # -- reporting --------------------------------------------------------------
+
+    def snapshot(self) -> str:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> str:
+        lines = []
+        for rank in range(self.size):
+            if rank in self._done:
+                status = "finished"
+            elif rank in self._waiting:
+                status = "blocked in " + self._waiting[rank].describe()
+            else:
+                status = "running"
+            lines.append(f"  rank {rank}: {status}")
+        return "\n".join(lines)
+
+    def _trip(self) -> None:
+        """Wake the whole world so every blocked rank sees the diagnosis."""
+        if self._failed is not None:
+            self._failed.set()
+        if self._barrier is not None:
+            self._barrier.abort()
+        for box in self._mailboxes:
+            box.wake()
+
+
 class _Mailbox:
-    """Per-rank incoming message store with (source, tag) matching."""
+    """Per-rank incoming message store, indexed by (source, tag)."""
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._messages: deque[_Message] = deque()
+        #: (source, tag) -> deque of (arrival seq, message); empty deques
+        #: are removed so wildcard matching scans only pending keys.
+        self._buckets: dict[tuple[int, int], deque] = {}
+        self._seq = 0
 
     def put(self, message: _Message) -> None:
         with self._cond:
-            self._messages.append(message)
+            self._seq += 1
+            key = (message.source, message.tag)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = self._buckets[key] = deque()
+            bucket.append((self._seq, message))
             self._cond.notify_all()
 
-    def _find(self, source: int | None, tag: int | None) -> _Message | None:
-        for i, msg in enumerate(self._messages):
-            if (source is None or msg.source == source) and \
-                    (tag is None or msg.tag == tag):
-                del self._messages[i]
-                return msg
-        return None
-
-    def get(self, source: int | None, tag: int | None, timeout: float,
-            failed: threading.Event) -> _Message:
-        deadline = None if timeout is None else timeout
-        waited = 0.0
+    def wake(self) -> None:
+        """Wake blocked receivers to re-check failure / deadlock state."""
         with self._cond:
+            self._cond.notify_all()
+
+    def _take(self, source: int | None, tag: int | None) -> _Message | None:
+        buckets = self._buckets
+        if source is not None and tag is not None:
+            key = (source, tag)
+            bucket = buckets.get(key)
+            if not bucket:
+                return None
+        else:
+            key = None
+            best = None
+            for k, bucket in buckets.items():
+                if (source is None or k[0] == source) and \
+                        (tag is None or k[1] == tag):
+                    seq = bucket[0][0]
+                    if best is None or seq < best:
+                        best, key = seq, k
+            if key is None:
+                return None
+            bucket = buckets[key]
+        _, msg = bucket.popleft()
+        if not bucket:
+            del buckets[key]
+        return msg
+
+    def get(self, source: int | None, tag: int | None, timeout: float | None,
+            failed: threading.Event,
+            waiter: tuple[DeadlockDetector, int, str] | None = None,
+            ) -> tuple[_Message, float]:
+        """Blocking matched receive; returns (message, seconds-in-wait)."""
+        t0 = time.monotonic()
+        deadline = None if timeout is None else t0 + timeout
+        detector = token = None
+        rank = -1
+        # fast path + grace period: if the message is already queued or
+        # arrives within the grace window, never touch the detector lock
+        with self._cond:
+            msg = self._take(source, tag)
+            if msg is not None:
+                return msg, 0.0
+            grace_end = t0 + _DETECT_GRACE
             while True:
-                msg = self._find(source, tag)
-                if msg is not None:
-                    return msg
                 if failed.is_set():
-                    raise RuntimeCommError(
-                        "another rank failed while this rank was receiving")
-                self._cond.wait(0.05)
-                waited += 0.05
-                if deadline is not None and waited >= deadline:
+                    break
+                now = time.monotonic()
+                if now >= grace_end or \
+                        (deadline is not None and now >= deadline):
+                    break
+                self._cond.wait(min(grace_end, deadline or grace_end) - now)
+                msg = self._take(source, tag)
+                if msg is not None:
+                    return msg, time.monotonic() - t0
+        if waiter is not None:
+            detector, rank, op = waiter
+            token = detector.block(rank, op, source, tag)
+        try:
+            while True:
+                timed_out = False
+                with self._cond:
+                    msg = self._take(source, tag)
+                    if msg is not None:
+                        if token is not None:
+                            token.satisfied = True
+                        return msg, time.monotonic() - t0
+                    if detector is not None and detector.diagnosis is not None:
+                        raise RuntimeDeadlockError(detector.diagnosis)
+                    if failed.is_set():
+                        raise RuntimeCommError(
+                            "another rank failed while this rank was "
+                            "receiving")
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        timed_out = True
+                    else:
+                        remaining = (None if deadline is None
+                                     else deadline - now)
+                        slice_ = (_DETECT_INTERVAL if remaining is None
+                                  else min(_DETECT_INTERVAL, remaining))
+                        self._cond.wait(slice_)
+                # outside the mailbox lock (lock order: detector first)
+                if timed_out:
+                    snap = ("\n" + detector.snapshot()
+                            if detector is not None else "")
                     raise RuntimeCommError(
                         f"recv timeout after {timeout}s waiting for "
-                        f"source={source} tag={tag} — likely deadlock")
+                        f"source={source} tag={tag} — likely deadlock"
+                        f"{snap}")
+                if detector is not None:
+                    detector.check()
+        finally:
+            if token is not None:
+                detector.unblock(rank)
 
     def probe(self, source: int | None, tag: int | None) -> bool:
         with self._cond:
-            return any(
-                (source is None or m.source == source)
-                and (tag is None or m.tag == tag)
-                for m in self._messages)
+            if source is not None and tag is not None:
+                return bool(self._buckets.get((source, tag)))
+            return any((source is None or k[0] == source)
+                       and (tag is None or k[1] == tag)
+                       for k in self._buckets)
 
 
 class Request:
     """Handle for a non-blocking operation."""
 
-    def __init__(self, fn) -> None:
-        self._fn = fn
+    def __init__(self, complete, poll=None) -> None:
+        self._complete = complete
+        self._poll = poll
         self._done = False
         self._result = None
 
     def wait(self):
         """Complete the operation; returns the received object for irecv."""
         if not self._done:
-            self._result = self._fn()
+            self._result = self._complete()
             self._done = True
         return self._result
 
     def test(self) -> bool:
-        """Non-blocking completion check (always completes sends)."""
+        """Non-blocking completion check (always completes sends).
+
+        Returns True and completes the operation if it can finish without
+        blocking (for irecv: a matching message is already queued),
+        otherwise returns False immediately.
+        """
         if self._done:
             return True
-        try:
-            return self.wait() is not None or True
-        except RuntimeCommError:
+        if self._poll is not None and not self._poll():
             return False
+        self.wait()
+        return True
 
 
 class Communicator:
@@ -145,7 +429,8 @@ class Communicator:
 
     def __init__(self, rank: int, size: int, mailboxes: list[_Mailbox],
                  barrier: threading.Barrier, trace: Trace,
-                 failed: threading.Event, timeout: float = 60.0) -> None:
+                 failed: threading.Event, timeout: float = 60.0,
+                 detector: DeadlockDetector | None = None) -> None:
         self.rank = rank
         self.size = size
         self._mailboxes = mailboxes
@@ -153,26 +438,35 @@ class Communicator:
         self._trace = trace
         self._failed = failed
         self._timeout = timeout
+        self._detector = detector
         self._collective_seq = 0
 
     # -- point-to-point --------------------------------------------------------
 
-    def send(self, dest: int, obj, tag: int = 0) -> None:
-        """Buffered send: copies *obj* and returns immediately."""
+    def send(self, dest: int, obj, tag: int = 0, *, move: bool = False) -> None:
+        """Buffered send: copies *obj* and returns immediately.
+
+        With ``move=True`` the payload is handed over uncopied (zero-copy
+        fast path); the caller must not reuse the buffer afterwards.
+        """
         self._check_rank(dest)
-        payload = _copy_payload(obj)
-        self._trace.record(TraceEvent(self.rank, "send", dest,
-                                      _payload_bytes(obj), tag))
+        self._check_tag(tag)
+        nbytes = _payload_bytes(obj)
+        payload = obj if move else _copy_payload(obj)
+        self._trace.record(TraceEvent(self.rank, "send", dest, nbytes, tag,
+                                      saved_bytes=nbytes if move else 0))
         self._mailboxes[dest].put(_Message(self.rank, tag, payload))
 
     def recv(self, source: int | None = None, tag: int | None = None):
         """Blocking receive; ``None`` matches any source / any tag."""
         if source is not None:
             self._check_rank(source)
-        msg = self._mailboxes[self.rank].get(source, tag, self._timeout,
-                                             self._failed)
+        if tag is not None:
+            self._check_tag(tag)
+        msg, waited = self._get(source, tag, "recv")
         self._trace.record(TraceEvent(self.rank, "recv", msg.source,
-                                      _payload_bytes(msg.payload), msg.tag))
+                                      _payload_bytes(msg.payload), msg.tag,
+                                      wait_s=waited))
         return msg.payload
 
     def isend(self, dest: int, obj, tag: int = 0) -> Request:
@@ -180,7 +474,8 @@ class Communicator:
         return Request(lambda: None)
 
     def irecv(self, source: int | None = None, tag: int | None = None) -> Request:
-        return Request(lambda: self.recv(source, tag))
+        return Request(lambda: self.recv(source, tag),
+                       poll=lambda: self.probe(source, tag))
 
     def sendrecv(self, dest: int, obj, source: int | None = None,
                  send_tag: int = 0, recv_tag: int | None = None):
@@ -191,24 +486,44 @@ class Communicator:
     def probe(self, source: int | None = None, tag: int | None = None) -> bool:
         return self._mailboxes[self.rank].probe(source, tag)
 
+    def _get(self, source: int | None, tag: int | None,
+             op: str) -> tuple[_Message, float]:
+        waiter = (None if self._detector is None
+                  else (self._detector, self.rank, op))
+        return self._mailboxes[self.rank].get(source, tag, self._timeout,
+                                              self._failed, waiter)
+
     # -- collectives --------------------------------------------------------------
 
-    def _next_collective_tag(self) -> int:
+    def _next_collective_tags(self) -> tuple[int, int]:
+        """Fresh (up, down) tag pair; disjoint from every other pair."""
         self._collective_seq += 1
-        return _COLLECTIVE_TAG_BASE + self._collective_seq
+        return _collective_tags(self._collective_seq)
 
     def barrier(self) -> None:
         """Synchronize all ranks."""
-        self._trace.record(TraceEvent(self.rank, "barrier", None, 0))
+        t0 = time.monotonic()
+        token = (self._detector.block(self.rank, "barrier")
+                 if self._detector is not None else None)
         try:
             self._barrier.wait(timeout=self._timeout)
+            if token is not None:
+                token.satisfied = True
         except threading.BrokenBarrierError as exc:
+            if (self._detector is not None
+                    and self._detector.diagnosis is not None):
+                raise RuntimeDeadlockError(self._detector.diagnosis) from exc
             raise RuntimeCommError("barrier broken (a rank died or timed "
                                    "out)") from exc
+        finally:
+            if token is not None:
+                self._detector.unblock(self.rank)
+        self._trace.record(TraceEvent(self.rank, "barrier", None, 0,
+                                      wait_s=time.monotonic() - t0))
 
     def bcast(self, obj=None, root: int = 0):
         """Broadcast from *root*; all ranks return the object."""
-        tag = self._next_collective_tag()
+        tag, _ = self._next_collective_tags()
         self._trace.record(TraceEvent(self.rank, "bcast", root,
                                       _payload_bytes(obj) if obj is not None
                                       else 0))
@@ -218,22 +533,19 @@ class Communicator:
                     payload = _copy_payload(obj)
                     self._mailboxes[dest].put(_Message(self.rank, tag, payload))
             return obj
-        msg = self._mailboxes[self.rank].get(root, tag, self._timeout,
-                                             self._failed)
+        msg, _waited = self._get(root, tag, "bcast")
         return msg.payload
 
     def reduce(self, value, op: str = "sum", root: int = 0):
         """Reduce to *root*; other ranks return None."""
         reducer = self._op(op)
-        tag = self._next_collective_tag()
+        tag, _ = self._next_collective_tags()
         self._trace.record(TraceEvent(self.rank, "reduce", root,
                                       _payload_bytes(value)))
         if self.rank == root:
             acc = _copy_payload(value)
             for _ in range(self.size - 1):
-                msg = self._mailboxes[self.rank].get(None, tag,
-                                                     self._timeout,
-                                                     self._failed)
+                msg, _waited = self._get(None, tag, "reduce")
                 acc = reducer(acc, msg.payload)
             return acc
         self._mailboxes[root].put(
@@ -243,40 +555,34 @@ class Communicator:
     def allreduce(self, value, op: str = "sum"):
         """Reduce + broadcast; all ranks return the reduced value."""
         reducer = self._op(op)
-        tag = self._next_collective_tag()
-        down_tag = tag + (1 << 19)  # disjoint from every up-phase tag
+        up_tag, down_tag = self._next_collective_tags()
         self._trace.record(TraceEvent(self.rank, "allreduce", None,
                                       _payload_bytes(value)))
         root = 0
         if self.rank == root:
             acc = _copy_payload(value)
             for _ in range(self.size - 1):
-                msg = self._mailboxes[self.rank].get(None, tag,
-                                                     self._timeout,
-                                                     self._failed)
+                msg, _waited = self._get(None, up_tag, "allreduce")
                 acc = reducer(acc, msg.payload)
             for dest in range(1, self.size):
                 self._mailboxes[dest].put(
                     _Message(root, down_tag, _copy_payload(acc)))
             return acc
         self._mailboxes[root].put(
-            _Message(self.rank, tag, _copy_payload(value)))
-        msg = self._mailboxes[self.rank].get(root, down_tag, self._timeout,
-                                             self._failed)
+            _Message(self.rank, up_tag, _copy_payload(value)))
+        msg, _waited = self._get(root, down_tag, "allreduce")
         return msg.payload
 
     def gather(self, value, root: int = 0):
         """Gather to *root* (list indexed by rank); others return None."""
-        tag = self._next_collective_tag()
+        tag, _ = self._next_collective_tags()
         self._trace.record(TraceEvent(self.rank, "gather", root,
                                       _payload_bytes(value)))
         if self.rank == root:
             out: list = [None] * self.size
             out[root] = _copy_payload(value)
             for _ in range(self.size - 1):
-                msg = self._mailboxes[self.rank].get(None, tag,
-                                                     self._timeout,
-                                                     self._failed)
+                msg, _waited = self._get(None, tag, "gather")
                 out[msg.source] = msg.payload
             return out
         self._mailboxes[root].put(
@@ -290,7 +596,7 @@ class Communicator:
 
     def scatter(self, values=None, root: int = 0):
         """Scatter a per-rank list from *root*."""
-        tag = self._next_collective_tag()
+        tag, _ = self._next_collective_tags()
         self._trace.record(TraceEvent(self.rank, "scatter", root, 0))
         if self.rank == root:
             if values is None or len(values) != self.size:
@@ -301,8 +607,7 @@ class Communicator:
                     self._mailboxes[dest].put(
                         _Message(root, tag, _copy_payload(values[dest])))
             return values[root]
-        msg = self._mailboxes[self.rank].get(root, tag, self._timeout,
-                                             self._failed)
+        msg, _waited = self._get(root, tag, "scatter")
         return msg.payload
 
     # -- misc -------------------------------------------------------------------------
@@ -315,6 +620,12 @@ class Communicator:
         if not 0 <= rank < self.size:
             raise RuntimeCommError(f"rank {rank} out of range "
                                    f"[0, {self.size})")
+
+    def _check_tag(self, tag: int) -> None:
+        if tag >= _COLLECTIVE_TAG_BASE:
+            raise RuntimeCommError(
+                f"tag {tag} is in the collective-reserved space "
+                f"[{_COLLECTIVE_TAG_BASE}, ∞); user tags must be smaller")
 
     @staticmethod
     def _op(op: str):

@@ -5,6 +5,13 @@ from the pre-compiler: all status arrays that the combined point covers are
 packed into **one message per neighbor** — the paper's "corresponding
 communications are aggregated" (§5.1.2).
 
+Copy discipline: face sections are packed once into contiguous buffers
+drawn from a shared :class:`BufferPool` and shipped with the runtime's
+zero-copy ``move`` path, so each halo payload is copied exactly once
+(pack) instead of three times (pack + send-copy + receive-side hold).
+The receiver unpacks into its ghost layers and returns the buffer to the
+pool for the next exchange.
+
 Geometry convention: each rank owns an inclusive global index range per
 grid dimension; its local arrays are declared with ghost layers around the
 owned block (the restructurer sizes them), so sections can be addressed in
@@ -13,6 +20,7 @@ owned block (the restructurer sizes them), so sections can be addressed in
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,8 +30,66 @@ from repro.interp.values import OffsetArray
 from repro.runtime.cart import CartComm
 from repro.runtime.trace import TraceEvent
 
-#: Tag space for halo messages: tag = base + dim * 4 + (direction + 1).
+#: Tag space for halo messages: tag = base + point_id * 64 + dim * 4
+#: + (direction + 1).
 _HALO_TAG_BASE = 1 << 16
+
+
+def halo_tag(point_id: int, dim: int, direction: int) -> int:
+    """Message tag for one (combined sync, dim, direction) face transfer."""
+    return _HALO_TAG_BASE + point_id * 64 + dim * 4 + (direction + 1)
+
+
+class BufferPool:
+    """Reusable contiguous numpy buffers, shared by all ranks in-process.
+
+    Senders ``acquire`` a packing buffer, receivers ``release`` it after
+    unpacking; because the transport is in-process shared memory, the
+    same physical buffer cycles between ranks without reallocation.
+    """
+
+    def __init__(self, max_per_key: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._max_per_key = max_per_key
+        self.hits = 0
+        self.misses = 0
+        self.reused_bytes = 0
+
+    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype).str)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                buf = stack.pop()
+                self.hits += 1
+                self.reused_bytes += buf.nbytes
+                return buf
+            self.misses += 1
+        return np.empty(shape, dtype)
+
+    def release(self, buf: np.ndarray) -> None:
+        if buf.size == 0:
+            return
+        key = (buf.shape, buf.dtype.str)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._max_per_key:
+                stack.append(buf)
+
+    def stats(self) -> dict:
+        with self._lock:
+            pooled = sum(len(s) for s in self._free.values())
+        return {"hits": self.hits, "misses": self.misses,
+                "reused_bytes": self.reused_bytes, "pooled": pooled}
+
+
+#: Default pool shared by every halo exchanger and pipeline transfer.
+_SHARED_POOL = BufferPool()
+
+
+def shared_pool() -> BufferPool:
+    return _SHARED_POOL
 
 
 @dataclass
@@ -70,8 +136,13 @@ class HaloSpec:
                 ranges.append(self.array.bounds[adim])
         return ranges
 
-    def send_section(self, grid_dim: int, direction: int) -> np.ndarray:
-        """Owned face layers to ship to the neighbor in *direction*."""
+    def send_section(self, grid_dim: int, direction: int,
+                     pool: BufferPool | None = None) -> np.ndarray:
+        """Owned face layers to ship to the neighbor in *direction*.
+
+        With *pool*, the section is packed into a reusable contiguous
+        buffer whose ownership passes to the receiver (zero-copy send).
+        """
         lo, hi = self.owned[grid_dim]
         d_minus, d_plus = self.dist[grid_dim]
         if direction > 0:
@@ -82,7 +153,12 @@ class HaloSpec:
             face = (lo, lo + width - 1)
         if width == 0:
             return np.empty(0)
-        return self.array.section(self._ranges(grid_dim, face)).copy()
+        section = self.array.section(self._ranges(grid_dim, face))
+        if pool is None:
+            return section.copy()
+        buf = pool.acquire(section.shape, section.dtype)
+        np.copyto(buf, section)
+        return buf
 
     def recv_ranges(self, grid_dim: int, direction: int) -> list[tuple[int, int]] | None:
         """Ghost section ranges filled from the neighbor in *direction*."""
@@ -103,10 +179,11 @@ class HaloExchanger:
     """Exchanges ghost layers for a set of arrays over a Cartesian comm."""
 
     def __init__(self, cart: CartComm, specs: list[HaloSpec],
-                 point_id: int = 0) -> None:
+                 point_id: int = 0, pool: BufferPool | None = None) -> None:
         self.cart = cart
         self.specs = specs
         self.point_id = point_id
+        self.pool = _SHARED_POOL if pool is None else pool
 
     def exchange(self) -> None:
         """One aggregated exchange: one message per neighbor, all arrays.
@@ -120,27 +197,23 @@ class HaloExchanger:
         comm.trace.record(TraceEvent(comm.rank, "exchange", None, 0,
                                      self.point_id))
         for dim in range(self.cart.ndims):
-            sends: list[tuple[int, int, list[np.ndarray]]] = []
-            recvs: list[tuple[int, int]] = []
+            recvs: list[int] = []
             for direction in (-1, 1):
-                neighbor = self.cart.neighbor(dim, direction)
-                if neighbor is None:
+                if self.cart.neighbor(dim, direction) is None:
                     continue
-                payload = [spec.send_section(dim, direction)
+                payload = [spec.send_section(dim, direction, self.pool)
                            for spec in self.specs]
-                sends.append((neighbor, direction, payload))
-                recvs.append((neighbor, direction))
-            for neighbor, direction, payload in sends:
-                tag = (_HALO_TAG_BASE + self.point_id * 64
-                       + dim * 4 + (direction + 1))
-                comm.send(neighbor, payload, tag)
-            for neighbor, direction in recvs:
+                self.cart.send_dir(dim, direction, payload,
+                                   halo_tag(self.point_id, dim, direction),
+                                   move=True)
+                recvs.append(direction)
+            for direction in recvs:
                 # our ghosts on side `direction` come from that neighbor's
                 # send in direction `-direction`; it used its own direction
                 # value in the tag.
-                tag = (_HALO_TAG_BASE + self.point_id * 64
-                       + dim * 4 + (-direction + 1))
-                payload = comm.recv(neighbor, tag)
+                payload = self.cart.recv_dir(
+                    dim, direction,
+                    halo_tag(self.point_id, dim, -direction))
                 self._unpack(dim, direction, payload)
 
     def _unpack(self, dim: int, direction: int,
@@ -151,6 +224,6 @@ class HaloExchanger:
                 f"{len(self.specs)} arrays")
         for spec, section in zip(self.specs, payload):
             ranges = spec.recv_ranges(dim, direction)
-            if ranges is None:
-                continue
-            spec.array.set_section(ranges, section)
+            if ranges is not None:
+                spec.array.set_section(ranges, section)
+            self.pool.release(section)

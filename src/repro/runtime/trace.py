@@ -1,11 +1,16 @@
 """Event tracing for the message-passing runtime.
 
 Every send, receive, barrier, collective, and halo exchange is recorded
-with its payload size.  The test suite uses traces to assert that the
-number of synchronizations the *runtime actually performs* per frame equals
-the number the *pre-compiler predicted* after optimization (Table 1's
-"after" column), and the benchmark harness feeds traces to the cluster
-simulator.
+with its payload size, the wall-clock time the rank spent blocked waiting
+for it (``wait_s``), and the bytes the zero-copy fast path avoided
+duplicating (``saved_bytes``).  The test suite uses traces to assert that
+the number of synchronizations the *runtime actually performs* per frame
+equals the number the *pre-compiler predicted* after optimization (Table
+1's "after" column); the benchmark harness feeds traces — including the
+wait-time and copy-savings accounting — to the cluster simulator.
+
+All query methods take the collector lock, so they are safe to call while
+ranks are still recording.
 """
 
 from __future__ import annotations
@@ -25,6 +30,10 @@ class TraceEvent:
     peer: int | None
     nbytes: int
     tag: int | None = None
+    #: seconds this rank spent blocked before the event completed
+    wait_s: float = 0.0
+    #: payload bytes the zero-copy (move) path did not duplicate
+    saved_bytes: int = 0
 
 
 @dataclass
@@ -41,27 +50,55 @@ class Trace:
 
     # -- queries ---------------------------------------------------------------
 
+    def _snapshot(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self.events)
+
     def count(self, kind: str, rank: int | None = None) -> int:
         """Number of events of *kind* (optionally for one rank)."""
-        return sum(1 for e in self.events
+        return sum(1 for e in self._snapshot()
                    if e.kind == kind and (rank is None or e.rank == rank))
 
     def bytes_sent(self, rank: int | None = None) -> int:
         """Total payload bytes sent (point-to-point sends only)."""
-        return sum(e.nbytes for e in self.events
+        return sum(e.nbytes for e in self._snapshot()
                    if e.kind in ("send", "pipeline_send")
                    and (rank is None or e.rank == rank))
 
     def sync_count(self, rank: int | None = None) -> int:
         """Synchronization operations: exchanges, barriers, reductions."""
         kinds = ("exchange", "barrier", "allreduce", "reduce", "bcast")
-        return sum(1 for e in self.events
+        return sum(1 for e in self._snapshot()
                    if e.kind in kinds and (rank is None or e.rank == rank))
 
     def messages(self, rank: int | None = None) -> list[TraceEvent]:
-        return [e for e in self.events
+        return [e for e in self._snapshot()
                 if e.kind in ("send", "pipeline_send")
                 and (rank is None or e.rank == rank)]
+
+    def wait_time(self, rank: int | None = None) -> float:
+        """Total wall-clock seconds ranks spent blocked in receives,
+        barriers, and collectives."""
+        return sum(e.wait_s for e in self._snapshot()
+                   if rank is None or e.rank == rank)
+
+    def saved_bytes(self, rank: int | None = None) -> int:
+        """Payload bytes the zero-copy send path avoided duplicating."""
+        return sum(e.saved_bytes for e in self._snapshot()
+                   if rank is None or e.rank == rank)
+
+    def comm_stats(self) -> dict:
+        """Aggregate communication accounting for benchmarks/simulation."""
+        events = self._snapshot()
+        sends = [e for e in events if e.kind in ("send", "pipeline_send")]
+        sync_kinds = ("exchange", "barrier", "allreduce", "reduce", "bcast")
+        return {
+            "sends": len(sends),
+            "bytes_sent": sum(e.nbytes for e in sends),
+            "saved_bytes": sum(e.saved_bytes for e in events),
+            "wait_s": sum(e.wait_s for e in events),
+            "syncs": sum(1 for e in events if e.kind in sync_kinds),
+        }
 
     def clear(self) -> None:
         with self._lock:

@@ -1,9 +1,12 @@
 """SPMD world launcher: run one function per rank on threads.
 
-The launcher creates the shared mailboxes, a world barrier, and a trace,
-then runs ``fn(comm)`` for every rank.  If any rank raises, the failure is
-propagated: all other ranks are woken (their receives raise), and the first
-exception is re-raised in the caller with rank attribution.
+The launcher creates the shared mailboxes, a world barrier, a trace, and a
+deadlock detector, then runs ``fn(comm)`` for every rank.  If any rank
+raises, the failure is propagated immediately: all other ranks are woken
+(their receives raise), and the first exception is re-raised in the caller
+with rank attribution.  If every live rank ends up blocked with no message
+in flight, the detector fails the world with the wait-for cycle instead of
+waiting for the wall-clock watchdog.
 """
 
 from __future__ import annotations
@@ -11,8 +14,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.errors import RuntimeCommError
-from repro.runtime.comm import Communicator, _Mailbox
+from repro.errors import RuntimeCommError, RuntimeDeadlockError
+from repro.runtime.comm import Communicator, DeadlockDetector, _Mailbox
 from repro.runtime.trace import Trace
 
 
@@ -33,10 +36,13 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         size: number of ranks.
         fn: rank body; receives a :class:`Communicator`.  Its return value
             is collected into ``world.results[rank]``.
-        timeout: per-receive watchdog (seconds).
+        timeout: per-receive watchdog (seconds) — the backstop; genuine
+            deadlocks are detected and reported much sooner.
         trace: optional shared trace (a fresh one is created if omitted).
 
     Raises:
+        RuntimeDeadlockError: when the detector proves a deadlock (the
+            message names the wait-for cycle).
         RuntimeCommError: wrapping the first rank failure.
     """
     if size < 1:
@@ -46,19 +52,23 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
     mailboxes = [_Mailbox() for _ in range(size)]
     barrier = threading.Barrier(size)
     failed = threading.Event()
+    detector = DeadlockDetector(size)
+    detector.attach(mailboxes, barrier, failed)
     errors: list[tuple[int, BaseException]] = []
     errors_lock = threading.Lock()
 
     def body(rank: int) -> None:
         comm = Communicator(rank, size, mailboxes, barrier, world.trace,
-                            failed, timeout)
+                            failed, timeout, detector)
         try:
             world.results[rank] = fn(comm)
+            detector.rank_done(rank)
         except BaseException as exc:  # noqa: BLE001 - must propagate all
             with errors_lock:
                 errors.append((rank, exc))
             failed.set()
             barrier.abort()
+            detector.rank_failed(rank)
 
     threads = [threading.Thread(target=body, args=(rank,),
                                 name=f"spmd-rank-{rank}", daemon=True)
@@ -69,10 +79,21 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         t.join()
 
     if errors:
-        # report the root cause: a non-communication error beats the
-        # cascade failures (broken barriers, watchdog trips) it triggered
-        errors.sort(key=lambda e: (isinstance(e[1], RuntimeCommError), e[0]))
+        # report the root cause: a non-communication error beats a deadlock
+        # diagnosis, which beats the cascade failures (broken barriers,
+        # watchdog trips, failure wakeups) either of them triggered
+        def priority(exc: BaseException) -> int:
+            if not isinstance(exc, RuntimeCommError):
+                return 0
+            if isinstance(exc, RuntimeDeadlockError):
+                return 1
+            return 2
+
+        errors.sort(key=lambda e: (priority(e[1]), e[0]))
         rank, exc = errors[0]
-        raise RuntimeCommError(
+        wrapper = (RuntimeDeadlockError
+                   if isinstance(exc, RuntimeDeadlockError)
+                   else RuntimeCommError)
+        raise wrapper(
             f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
     return world

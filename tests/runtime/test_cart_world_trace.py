@@ -134,3 +134,45 @@ class TestTrace:
         trace.record(TraceEvent(0, "send", 1, 8))
         trace.clear()
         assert trace.events == []
+
+    def test_wait_time_recorded_for_blocked_recv(self):
+        import time
+
+        def body(comm):
+            if comm.rank == 0:
+                time.sleep(0.08)
+                comm.send(1, 1)
+                return None
+            return comm.recv(0)
+
+        w = spmd_run(2, body)
+        assert w.trace.wait_time(rank=1) >= 0.05
+        assert w.trace.wait_time(rank=0) < 0.05
+
+    def test_saved_bytes_zero_for_plain_sends(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, [1, 2, 3])
+            else:
+                comm.recv(0)
+
+        w = spmd_run(2, body)
+        assert w.trace.saved_bytes() == 0
+
+    def test_comm_stats_aggregates(self):
+        import numpy as np
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, np.zeros(10))
+            else:
+                comm.recv(0)
+            comm.barrier()
+
+        w = spmd_run(2, body)
+        stats = w.trace.comm_stats()
+        assert stats["sends"] == 1
+        assert stats["bytes_sent"] == 80
+        assert stats["syncs"] == 2
+        assert stats["wait_s"] >= 0.0
+        assert stats["saved_bytes"] == 0

@@ -1,5 +1,7 @@
 """Point-to-point and collective communication."""
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -215,6 +217,115 @@ class TestCollectives:
 
         w = spmd_run(2, body)
         assert w.results == [1, 1]
+
+
+class TestNamedBugRegressions:
+    """Dedicated regressions for the three latent comm bugs (each failed
+    on the pre-overhaul runtime)."""
+
+    def test_request_test_is_nonblocking(self):
+        # Bug 1: Request.test() called self.wait(), blocking until the
+        # message arrived (or the watchdog tripped) despite being
+        # documented as a non-blocking completion check.
+        def body(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0, tag=3)
+                t0 = time.perf_counter()
+                ready = req.test()
+                elapsed = time.perf_counter() - t0
+                assert ready is False
+                assert elapsed < 0.5, \
+                    f"test() blocked for {elapsed:.2f}s on a pending recv"
+                comm.barrier()  # rank 0 sends only after the False sample
+                deadline = time.monotonic() + 5.0
+                while not req.test():
+                    assert time.monotonic() < deadline
+                return req.wait()
+            comm.barrier()
+            comm.send(1, "payload", tag=3)
+            return None
+
+        w = spmd_run(2, body, timeout=2.0)
+        assert w.results[1] == "payload"
+
+    def test_isend_request_test_completes_immediately(self):
+        def body(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, 42)
+                assert req.test() is True
+                return None
+            return comm.recv(0)
+
+        w = spmd_run(2, body)
+        assert w.results[1] == 42
+
+    def test_timeout_is_wall_clock_under_notify_traffic(self):
+        # Bug 2: _Mailbox.get charged a full 50 ms tick per wakeup
+        # (waited += 0.05), so ~0.5 s of unrelated message arrivals
+        # exhausted a 2 s budget and tripped a spurious recv timeout.
+        def body(comm):
+            if comm.rank == 1:
+                return comm.recv(0, tag=7)
+            for k in range(100):
+                comm.send(1, k, tag=9)  # unrelated traffic wakes rank 1
+                time.sleep(0.002)
+            time.sleep(0.3)
+            comm.send(1, "match", tag=7)
+            return None
+
+        w = spmd_run(2, body, timeout=2.0)
+        assert w.results[1] == "match"
+
+    def test_user_tag_in_reserved_collective_space_rejected(self):
+        # Bug 3: allreduce's down tag was up_tag + 2**19, so any tag in
+        # [2**20, 2**20 + 2**19) could alias a later up phase and any tag
+        # above could alias a down phase, silently stealing a reduction.
+        # The collective tag space is now reserved and enforced.
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "stolen", tag=(1 << 20) + (1 << 19) + 7)
+            else:
+                comm.recv(0, tag=(1 << 20) + (1 << 19) + 7)
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=2.0)
+
+    def test_collective_tag_pairs_disjoint_across_wraparound(self):
+        # Direct check of the allocator at the old collision boundary:
+        # pre-overhaul, down(seq) == up(seq + 2**19).
+        from repro.runtime.comm import _COLLECTIVE_TAG_BASE, _collective_tags
+
+        half = 1 << 19
+        seen: set[int] = set()
+        for seq in (1, 2, 7, half - 1, half, half + 1, half + 2,
+                    half + 7, (1 << 20) + 3):
+            up, down = _collective_tags(seq)
+            assert up >= _COLLECTIVE_TAG_BASE
+            assert down >= _COLLECTIVE_TAG_BASE
+            assert up != down
+            assert {up, down}.isdisjoint(seen), \
+                f"tag collision at seq {seq}"
+            seen |= {up, down}
+
+    def test_collectives_correct_across_seq_wraparound(self):
+        # Mixed collectives crossing the 2**19 sequence boundary must all
+        # deliver the right values.
+        half = 1 << 19
+
+        def body(comm):
+            comm._collective_seq = half - 3
+            out = []
+            for k in range(6):
+                out.append(comm.allreduce(comm.rank + k, "sum"))
+                out.append(comm.bcast(k * 10 if comm.rank == 0 else None))
+            return out
+
+        w = spmd_run(3, body, timeout=5.0)
+        expect = []
+        for k in range(6):
+            expect.append(3 + 3 * k)  # sum of rank+k over ranks 0..2
+            expect.append(k * 10)
+        assert all(r == expect for r in w.results)
 
 
 @given(values=st.lists(st.integers(-100, 100), min_size=2, max_size=5),

@@ -8,7 +8,8 @@ from repro.interp.values import OffsetArray
 from repro.partition.grid import GridGeometry
 from repro.partition.halo import GhostSpec, ghost_bounds
 from repro.partition.partitioner import Partition
-from repro.runtime import CartComm, HaloExchanger, HaloSpec, spmd_run
+from repro.runtime import (BufferPool, CartComm, HaloExchanger, HaloSpec,
+                           spmd_run)
 
 
 def global_field(shape):
@@ -106,6 +107,56 @@ class TestAggregation:
     def test_exchange_event_recorded(self):
         w = distributed_run((12,), (2,), (1, 1))
         assert w.trace.count("exchange") == 2  # one per rank
+
+
+class TestZeroCopyPool:
+    def test_exchange_saves_copies_and_reuses_buffers(self):
+        grid_shape, dims, dist = (64,), (2,), (2, 2)
+        grid = GridGeometry(grid_shape)
+        part = Partition(grid, dims)
+        reference = global_field(grid_shape)
+        ghosts = GhostSpec((dist,))
+        pool = BufferPool()
+
+        def body(comm):
+            cart = CartComm(comm, dims)
+            sub = part.subgrid(comm.rank)
+            bounds = ghost_bounds(part, comm.rank, (0,),
+                                  [(1, grid_shape[0])], ghosts)
+            local = OffsetArray.from_bounds(bounds, name="v")
+            local.set_section(list(sub.owned),
+                              reference.section(list(sub.owned)))
+            spec = HaloSpec(local, (0,), sub.owned, (dist,))
+            ex = HaloExchanger(cart, [spec], pool=pool)
+            ex.exchange()
+            comm.barrier()  # round 1's buffers are all back in the pool
+            ex.exchange()
+            got = local.section(local.bounds)
+            assert np.array_equal(got, reference.section(local.bounds))
+            return True
+
+        w = spmd_run(2, body)
+        assert all(w.results)
+        # the move path shipped each face without a send-side copy
+        assert w.trace.saved_bytes() > 0
+        stats = pool.stats()
+        assert stats["hits"] > 0, "second exchange did not reuse buffers"
+        assert stats["reused_bytes"] > 0
+
+    def test_pool_recycles_released_buffers(self):
+        pool = BufferPool()
+        a = pool.acquire((4, 3), np.float64)
+        pool.release(a)
+        b = pool.acquire((4, 3), np.float64)
+        assert b is a
+        assert pool.stats() == {"hits": 1, "misses": 1,
+                                "reused_bytes": a.nbytes, "pooled": 0}
+        # different shape or dtype must not alias
+        c = pool.acquire((3, 4), np.float64)
+        assert c is not a
+        pool.release(b)
+        d = pool.acquire((4, 3), np.float32)
+        assert d is not b
 
 
 class TestErrors:
