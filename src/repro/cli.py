@@ -7,16 +7,25 @@ Usage (also via ``python -m repro``)::
     acfd report flow.f90 --partition 4x1 --partition 1x4
     acfd run flow.f90 --partition 2x2 --input deck.txt
     acfd simulate flow.f90 --partition 2x2 --frames 1000
+    acfd profile flow.f90 --partition 2x2 --trace-out flow.trace.json
 
 ``compile`` writes the parallel program, ``report`` prints the Table-1
-style synchronization accounting, ``run`` executes sequential and
-parallel versions and compares the status arrays, ``simulate`` replays
-the compiled program on the cluster performance model.
+style synchronization accounting (``--json`` for machine-readable
+output), ``run`` executes sequential and parallel versions and compares
+the status arrays, ``simulate`` replays the compiled program on the
+cluster performance model.  ``profile`` runs the whole pipeline under
+the observability layer: it prints the per-phase compiler timing table,
+the per-rank compute/blocked/halo breakdown of a real parallel run with
+its load-imbalance and comm/compute numbers, the simulator's prediction
+of the same breakdown, and writes a Chrome-trace JSON (open it in
+``ui.perfetto.dev``).  ``run`` and ``simulate`` accept ``--trace-out``
+to dump the same JSON without the report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 
@@ -25,6 +34,7 @@ import numpy as np
 from repro.core import AutoCFD
 from repro.core.report import CompilationReport
 from repro.errors import ReproError
+from repro.obs import build_export, write_chrome_trace
 from repro.simulate import ClusterSim, MachineModel, NetworkModel
 
 
@@ -74,8 +84,12 @@ def cmd_compile(args) -> int:
 
 def cmd_report(args) -> int:
     acfd = _load(args.source)
+    results = _compile_args(acfd, args)
+    if args.json:
+        print(json.dumps([r.report.to_dict() for r in results], indent=1))
+        return 0
     print(CompilationReport.header())
-    for result in _compile_args(acfd, args):
+    for result in results:
         print(result.report.row())
     return 0
 
@@ -96,6 +110,9 @@ def cmd_run(args) -> int:
         same = np.array_equal(par.array(name).data, seq.array(name).data)
         print(f"  array {name!r}: {'identical' if same else 'DIFFERS'}")
         ok = ok and same
+    if args.trace_out:
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        print(f"wrote {write_chrome_trace(args.trace_out, data)}")
     return 0 if ok else 1
 
 
@@ -111,14 +128,63 @@ def cmd_simulate(args) -> int:
           f"{'efficiency':>10s}")
     print(f"{'x'.join(map(str, seq_dims)):>10s} {t_seq:>10.2f} "
           f"{'-':>8s} {'-':>10s}")
+    sim_spans = None
     for result in _compile_args(acfd, args):
-        sim = ClusterSim(result.plan, machine, network, chunks=args.chunks)
+        sim = ClusterSim(result.plan, machine, network, chunks=args.chunks,
+                         record_timeline=bool(args.trace_out))
         out = sim.run(args.frames)
+        if sim_spans is None:
+            sim_spans = out.spans
         p = math.prod(result.plan.partition.dims)
         s = t_seq / out.total_time
         part = "x".join(map(str, result.plan.partition.dims))
         print(f"{part:>10s} {out.total_time:>10.2f} {s:>8.2f} "
               f"{100 * s / p:>9.0f}%")
+    if args.trace_out:
+        data = build_export(compiler=acfd.obs, sim_spans=sim_spans)
+        print(f"wrote {write_chrome_trace(args.trace_out, data)}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """The full observability report: compile, run, simulate, export."""
+    acfd = _load(args.source)
+    input_text = None
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            input_text = fh.read()
+    result = _compile_args(acfd, args)[0]
+    part = "x".join(map(str, result.plan.partition.dims))
+    print(f"== compiler phases ({result.report.program}, {part}) ==")
+    print(result.report.phase_table())
+    if result.report.metrics:
+        counters = " ".join(f"{k}={v}"
+                            for k, v in result.report.metrics.items())
+        print(f"counters: {counters}")
+
+    print("\n== parallel run (observed) ==")
+    par = result.run_parallel(input_text=input_text)
+    rollup = par.rollup()
+    print(rollup.table())
+    frames = par.timeline().frames()
+    if len(frames) > 1:
+        print(f"frames inferred: {len(frames)}")
+
+    print(f"\n== cluster model (simulated, {args.frames} frames) ==")
+    sim = ClusterSim(result.plan, record_timeline=True)
+    out = sim.run(args.frames)
+    sim_rollup = out.rollup()
+    print(sim_rollup.table())
+
+    trace_out = args.trace_out
+    if trace_out is None:
+        stem = ("profile" if args.source == "-"
+                else args.source.rsplit(".", 1)[0])
+        trace_out = f"{stem}.trace.json"
+    data = build_export(compiler=acfd.obs, trace=par.trace,
+                        sim_spans=out.spans)
+    print(f"\nwrote {write_chrome_trace(trace_out, data)} "
+          f"(open in ui.perfetto.dev)")
     return 0
 
 
@@ -146,11 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="synchronization accounting")
     common(p)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (includes phase timings)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="run sequential vs parallel and compare")
     common(p)
     p.add_argument("--input", "-i", help="list-directed input deck file")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome-trace/Perfetto JSON of the run")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("simulate", help="cluster performance model")
@@ -159,7 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="frame iterations to simulate")
     p.add_argument("--chunks", type=int, default=1,
                    help="pipeline chunking for self-dependent loops")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write a Chrome-trace JSON of the simulated "
+                        "timeline (first partition)")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile the whole pipeline: compiler phases, per-rank "
+             "runtime breakdown, simulated comparison, Perfetto export")
+    common(p)
+    p.add_argument("--input", "-i", help="list-directed input deck file")
+    p.add_argument("--frames", type=int, default=200,
+                   help="frame iterations for the simulated comparison")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="Chrome-trace JSON path (default: "
+                        "<source>.trace.json)")
+    p.set_defaults(fn=cmd_profile)
     return parser
 
 

@@ -24,6 +24,7 @@ from repro.analysis.selfdep import SelfDepClass, SelfDepPlan, analyze_self_depen
 from repro.errors import CodegenError
 from repro.fortran import ast as A
 from repro.fortran.directives import AcfdDirectives
+from repro.obs import spans as obs
 from repro.fortran.symbols import SymbolTable
 from repro.partition.grid import GridGeometry
 from repro.partition.halo import GhostSpec
@@ -180,8 +181,14 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
     """
     if directives is None:
         directives = cu.directives  # type: ignore[assignment]
-    frame = build_frame_program(cu, directives)
-    pairs = build_sldp(frame, eliminate_redundant=eliminate_redundant)
+    with obs.span("frame-program", cat="compile") as sp:
+        frame = build_frame_program(cu, directives)
+        sp.args["field_loops"] = len(frame.field_loop_instances)
+        obs.counter("compile.loops_scanned").inc(
+            len(frame.field_loop_instances))
+    with obs.span("dependency-analysis", cat="compile") as sp:
+        pairs = build_sldp(frame, eliminate_redundant=eliminate_redundant)
+        sp.args["pairs"] = len(pairs)
 
     # --- partition filtering: analysis after partitioning -----------------
     active = [p for p in pairs if p.needs_sync(partition.dims)]
@@ -191,62 +198,71 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
     pipes_by_loop: dict[int, PipeLoopPlan] = {}
     seen_static: set[tuple[str, tuple]] = set()
     pipe_counter = 0
-    for inst in frame.field_loop_instances:
-        fl = inst.field_loop
-        assert fl is not None
-        if not fl.is_self_dependent:
-            continue
-        key = (inst.unit_name, fl.loop.path)
-        if key in seen_static:
-            continue
-        seen_static.add(key)
-        plans = analyze_self_dependence(fl, directives.ndims)
-        pipeline_dims: set[int] = set()
-        arrays: list[str] = []
-        klass = SelfDepClass.WAVEFRONT
-        for sp in plans:
-            if sp.klass is SelfDepClass.SERIAL:
-                cut_swept = set(fl.sweeps) & set(partition.cut_dims)
-                if cut_swept:
-                    raise CodegenError(
-                        f"self-dependent loop on {sp.array!r} in "
-                        f"{inst.unit_name!r} has irregular subscripts and "
-                        f"cannot be parallelized across dims {cut_swept}")
+    with obs.span("self-dependence", cat="compile") as sdspan:
+        for inst in frame.field_loop_instances:
+            fl = inst.field_loop
+            assert fl is not None
+            if not fl.is_self_dependent:
                 continue
-            if sp.decomposition is None:
+            key = (inst.unit_name, fl.loop.path)
+            if key in seen_static:
                 continue
-            dims = {g for g in sp.decomposition.pipeline_dims
-                    if g in partition.cut_dims}
-            if sp.array not in arrays:
-                arrays.append(sp.array)
-            pipeline_dims |= dims
-            if sp.klass is SelfDepClass.MIRROR:
-                klass = SelfDepClass.MIRROR
-        if pipeline_dims:
-            pipe_counter += 1
-            plan = PipeLoopPlan(pipe_counter, inst.unit_name, fl.loop.path,
-                                arrays, sorted(pipeline_dims), klass, fl)
-            pipe_plans.append(plan)
-            pipes_by_loop[id(fl.loop.stmt)] = plan
+            seen_static.add(key)
+            plans = analyze_self_dependence(fl, directives.ndims)
+            pipeline_dims: set[int] = set()
+            arrays: list[str] = []
+            klass = SelfDepClass.WAVEFRONT
+            for sp in plans:
+                if sp.klass is SelfDepClass.SERIAL:
+                    cut_swept = set(fl.sweeps) & set(partition.cut_dims)
+                    if cut_swept:
+                        raise CodegenError(
+                            f"self-dependent loop on {sp.array!r} in "
+                            f"{inst.unit_name!r} has irregular subscripts and "
+                            f"cannot be parallelized across dims {cut_swept}")
+                    continue
+                if sp.decomposition is None:
+                    continue
+                dims = {g for g in sp.decomposition.pipeline_dims
+                        if g in partition.cut_dims}
+                if sp.array not in arrays:
+                    arrays.append(sp.array)
+                pipeline_dims |= dims
+                if sp.klass is SelfDepClass.MIRROR:
+                    klass = SelfDepClass.MIRROR
+            if pipeline_dims:
+                pipe_counter += 1
+                plan = PipeLoopPlan(pipe_counter, inst.unit_name, fl.loop.path,
+                                    arrays, sorted(pipeline_dims), klass, fl)
+                pipe_plans.append(plan)
+                pipes_by_loop[id(fl.loop.stmt)] = plan
+        sdspan.args["pipelined_loops"] = len(pipe_plans)
 
     # --- upper-bound regions + visibility filtering ------------------------
     regions: list[SyncRegion] = []
-    for pair in active:
-        region = upper_bound_region(frame, pair)
-        visible = [s for s in region.allowed
-                   if _unit_sees(cu, _slot_unit(frame, s), pair.array)]
-        if not visible:
-            fallback = pair.writer.close + 1
-            visible = [fallback]
-        region.allowed = visible
-        regions.append(region)
+    with obs.span("sync-regions", cat="compile") as rgspan:
+        for pair in active:
+            region = upper_bound_region(frame, pair)
+            visible = [s for s in region.allowed
+                       if _unit_sees(cu, _slot_unit(frame, s), pair.array)]
+            if not visible:
+                fallback = pair.writer.close + 1
+                visible = [fallback]
+            region.allowed = visible
+            regions.append(region)
+        rgspan.args["regions"] = len(regions)
 
     # --- combining ----------------------------------------------------------
-    if combine:
-        groups = combine_regions(regions)
-    else:
-        groups = [CombinedSync(placement=r.allowed[-1], regions=[r])
-                  for r in regions]
+    with obs.span("sync-combining", cat="compile") as cbspan:
+        if combine:
+            groups = combine_regions(regions)
+        else:
+            groups = [CombinedSync(placement=r.allowed[-1], regions=[r])
+                      for r in regions]
+        cbspan.args["syncs_before"] = len(regions)
+        cbspan.args["syncs_after"] = len(groups)
+        obs.counter("compile.syncs_before").inc(len(regions))
+        obs.counter("compile.syncs_after").inc(len(groups))
 
     syncs: list[PlannedSync] = []
     for k, group in enumerate(groups):
@@ -272,76 +288,87 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
     # --- ghost geometry per array -------------------------------------------
     main_table: SymbolTable = cu.main.symbols  # type: ignore[assignment]
     arrays: dict[str, ArrayPlan] = {}
-    for name in directives.status_arrays:
-        table = None
-        for unit in cu.units:
-            t: SymbolTable = unit.symbols  # type: ignore[assignment]
-            sym = t.get(name)
-            if sym is not None and sym.is_array:
-                table = t
-                break
-        if table is None:
-            continue  # declared status but never used as an array
-        rank = table.require(name).array.rank  # type: ignore[union-attr]
-        dim_map = directives.status_dims(name, rank)
-        widths = [[0, 0] for _ in range(directives.ndims)]
-        for pair in pairs:  # all pairs: ghosts must cover every partition
-            if pair.array != name:
-                continue
-            for g, (minus, plus) in pair.distances.items():
-                widths[g][0] = max(widths[g][0], minus)
-                widths[g][1] = max(widths[g][1], plus)
-            if pair.irregular:
-                for g in range(directives.ndims):
-                    widths[g][0] = max(widths[g][0], directives.max_distance)
-                    widths[g][1] = max(widths[g][1], directives.max_distance)
-        # self-dependent pipelines need one layer each way at minimum
-        for pp in pipe_plans:
-            if name in pp.arrays:
-                use = pp.field_loop.uses.get(name)
-                if use is None:
+    with obs.span("ghost-geometry", cat="compile") as ghspan:
+        for name in directives.status_arrays:
+            table = None
+            for unit in cu.units:
+                t: SymbolTable = unit.symbols  # type: ignore[assignment]
+                sym = t.get(name)
+                if sym is not None and sym.is_array:
+                    table = t
+                    break
+            if table is None:
+                continue  # declared status but never used as an array
+            rank = table.require(name).array.rank  # type: ignore[union-attr]
+            dim_map = directives.status_dims(name, rank)
+            widths = [[0, 0] for _ in range(directives.ndims)]
+            for pair in pairs:  # all pairs: ghosts must cover every partition
+                if pair.array != name:
                     continue
-                for g in range(directives.ndims):
-                    minus, plus = use.max_read_distance(g)
+                for g, (minus, plus) in pair.distances.items():
                     widths[g][0] = max(widths[g][0], minus)
                     widths[g][1] = max(widths[g][1], plus)
-        arrays[name] = ArrayPlan(
-            name=name,
-            dim_map=dim_map,
-            original_bounds=_numeric_bounds(table, name),
-            ghosts=GhostSpec(tuple((a, b) for a, b in widths)),
-            type_name=table.require(name).type_name)
+                if pair.irregular:
+                    for g in range(directives.ndims):
+                        widths[g][0] = max(widths[g][0],
+                                           directives.max_distance)
+                        widths[g][1] = max(widths[g][1],
+                                           directives.max_distance)
+            # self-dependent pipelines need one layer each way at minimum
+            for pp in pipe_plans:
+                if name in pp.arrays:
+                    use = pp.field_loop.uses.get(name)
+                    if use is None:
+                        continue
+                    for g in range(directives.ndims):
+                        minus, plus = use.max_read_distance(g)
+                        widths[g][0] = max(widths[g][0], minus)
+                        widths[g][1] = max(widths[g][1], plus)
+            arrays[name] = ArrayPlan(
+                name=name,
+                dim_map=dim_map,
+                original_bounds=_numeric_bounds(table, name),
+                ghosts=GhostSpec(tuple((a, b) for a, b in widths)),
+                type_name=table.require(name).type_name)
+        ghspan.args["status_arrays"] = len(arrays)
+        ghspan.args["halo_width_max"] = max(
+            (w for ap in arrays.values()
+             for g in range(directives.ndims) for w in ap.ghosts.width(g)),
+            default=0)
 
-    # --- geometry sanity: ghosts must fit inside neighbors ---------------------
-    for name, ap in arrays.items():
-        for g in partition.cut_dims:
-            w_minus, w_plus = ap.ghosts.width(g)
-            width = max(w_minus, w_plus)
-            if width == 0:
-                continue
-            min_extent = min(s.owned[g][1] - s.owned[g][0] + 1
-                             for s in partition.subgrids())
-            if min_extent < width:
-                raise CodegenError(
-                    f"partition {partition.dims} slices grid dimension "
-                    f"{g} thinner ({min_extent} points) than the ghost "
-                    f"width {width} that array {name!r} needs — use "
-                    f"fewer processors along that dimension")
+        # --- geometry sanity: ghosts must fit inside neighbors -------------
+        for name, ap in arrays.items():
+            for g in partition.cut_dims:
+                w_minus, w_plus = ap.ghosts.width(g)
+                width = max(w_minus, w_plus)
+                if width == 0:
+                    continue
+                min_extent = min(s.owned[g][1] - s.owned[g][0] + 1
+                                 for s in partition.subgrids())
+                if min_extent < width:
+                    raise CodegenError(
+                        f"partition {partition.dims} slices grid dimension "
+                        f"{g} thinner ({min_extent} points) than the ghost "
+                        f"width {width} that array {name!r} needs — use "
+                        f"fewer processors along that dimension")
 
     # --- reductions -----------------------------------------------------------
     reductions: list[ReductionPlan] = []
-    seen_red: set[tuple[str, tuple]] = set()
-    for inst in frame.field_loop_instances:
-        fl = inst.field_loop
-        assert fl is not None
-        reds = find_reductions(fl)
-        if not reds:
-            continue
-        key = (inst.unit_name, fl.loop.path)
-        if key in seen_red:
-            continue
-        seen_red.add(key)
-        reductions.append(ReductionPlan(inst.unit_name, fl.loop.path, reds))
+    with obs.span("reductions", cat="compile") as redspan:
+        seen_red: set[tuple[str, tuple]] = set()
+        for inst in frame.field_loop_instances:
+            fl = inst.field_loop
+            assert fl is not None
+            reds = find_reductions(fl)
+            if not reds:
+                continue
+            key = (inst.unit_name, fl.loop.path)
+            if key in seen_red:
+                continue
+            seen_red.add(key)
+            reductions.append(
+                ReductionPlan(inst.unit_name, fl.loop.path, reds))
+        redspan.args["reduction_loops"] = len(reductions)
 
     # --- Table 1 accounting -----------------------------------------------------
     # Pipelined self-dependent loops synchronize intrinsically (their

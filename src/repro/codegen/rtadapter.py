@@ -106,30 +106,51 @@ class RankRuntime:
         pipe = self.plan.pipes[int(pipe_id) - 1]
         specs = self._pipe_specs(pipe, arrays)
         pool = shared_pool()
+        trace = self.comm.trace
+        timed = trace.enabled
+        t0 = trace.now() if timed else 0.0
         for g in pipe.pipeline_dims:
             tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
             payload = self.cart.recv_dir(g, -1, tag)
             if payload is None:
                 continue
+            tu0 = trace.now() if timed else 0.0
+            nbytes = 0
             for spec, section in zip(specs, payload):
                 ranges = spec.recv_ranges(g, -1)
                 if ranges is not None:
                     spec.array.set_section(ranges, section)
+                    nbytes += int(section.nbytes)
                 pool.release(section)
+            if timed:
+                trace.record(TraceEvent(self.comm.rank, "halo_unpack",
+                                        None, nbytes, tag,
+                                        t0=tu0, t1=trace.now()))
+        if timed:
+            trace.record(TraceEvent(self.comm.rank, "pipeline_recv", None,
+                                    0, int(pipe_id), t0=t0, t1=trace.now()))
 
     def pipe_send(self, pipe_id: int, *arrays: OffsetArray) -> None:
         """Ship freshly computed plus-edge layers down the pipeline."""
         pipe = self.plan.pipes[int(pipe_id) - 1]
         specs = self._pipe_specs(pipe, arrays)
         pool = shared_pool()
+        trace = self.comm.trace
+        timed = trace.enabled
         for g in pipe.pipeline_dims:
             neighbor = self.cart.neighbor(g, +1)
             if neighbor is None:
                 continue
             tag = _PIPE_TAG_BASE + int(pipe_id) * 8 + g
+            tp0 = trace.now() if timed else 0.0
             payload = [spec.send_section(g, +1, pool) for spec in specs]
+            if timed:
+                trace.record(TraceEvent(
+                    self.comm.rank, "halo_pack", None,
+                    sum(int(b.nbytes) for b in payload), tag,
+                    t0=tp0, t1=trace.now()))
             # marker event only (comm.send records the payload bytes)
-            self.comm.trace.record(TraceEvent(
+            trace.record(TraceEvent(
                 self.comm.rank, "pipeline_send", neighbor, 0, tag))
             self.cart.send_dir(g, +1, payload, tag, move=True)
 

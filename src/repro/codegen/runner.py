@@ -51,6 +51,15 @@ class ParallelResult:
         (``saved_bytes``)."""
         return self.world.trace.comm_stats()
 
+    def timeline(self):
+        """Classified per-rank :class:`~repro.obs.Timeline` of this run."""
+        from repro.obs.timeline import Timeline
+        return Timeline.from_trace(self.world.trace)
+
+    def rollup(self):
+        """Whole-run :class:`~repro.obs.RunRollup` (observed breakdown)."""
+        return self.timeline().rollup()
+
     def array(self, name: str) -> OffsetArray:
         try:
             return self.arrays[name]

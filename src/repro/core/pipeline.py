@@ -27,6 +27,8 @@ from repro.fortran.printer import print_compilation_unit
 from repro.fortran.symbols import SymbolTable
 from repro.interp.io_runtime import IoManager
 from repro.interp.pyback import RunResult, run_compiled
+from repro.obs import Profiler, activate
+from repro.obs import spans as obs
 from repro.partition.grid import GridGeometry
 from repro.partition.partitioner import Partition, choose_partition
 
@@ -59,8 +61,11 @@ class AutoCFD:
     """The pre-compiler: sequential Fortran CFD in, SPMD program out."""
 
     def __init__(self, cu: A.CompilationUnit, *,
-                 auto_status: bool = True) -> None:
-        normalize_compilation_unit(cu)
+                 auto_status: bool = True,
+                 profiler: Profiler | None = None) -> None:
+        self.obs = profiler if profiler is not None else Profiler()
+        with activate(self.obs), obs.span("normalize", cat="compile"):
+            normalize_compilation_unit(cu)
         self.cu = cu
         directives = cu.directives
         if not isinstance(directives, AcfdDirectives) \
@@ -76,8 +81,15 @@ class AutoCFD:
     @classmethod
     def from_source(cls, src: str, filename: str = "<input>",
                     **kwargs) -> "AutoCFD":
-        """Parse Fortran source and build the pre-compiler."""
-        return cls(parse_source(src, filename), **kwargs)
+        """Parse Fortran source and build the pre-compiler.
+
+        The front-end (lex/parse/resolve) runs inside the instance's
+        profiler so its spans show up alongside the compile phases.
+        """
+        profiler = kwargs.pop("profiler", None) or Profiler()
+        with activate(profiler):
+            cu = parse_source(src, filename)
+        return cls(cu, profiler=profiler, **kwargs)
 
     @classmethod
     def from_file(cls, path: str, **kwargs) -> "AutoCFD":
@@ -128,21 +140,26 @@ class AutoCFD:
             combine: apply the combining optimization (ablation hook).
             eliminate_redundant: apply redundant-pair elimination.
         """
-        if isinstance(partition, Partition):
-            part = partition
-        elif partition is not None:
-            part = Partition(self.grid, tuple(partition))
-        elif processors is not None:
-            part = self.partition_for(processors)
-        elif self.directives.partition:
-            part = Partition(self.grid, self.directives.partition)
-        else:
-            raise PartitionError("no partition given: pass partition=, "
-                                 "processors=, or a partition directive")
-        plan = build_plan(self.cu, part, self.directives,
-                          combine=combine,
-                          eliminate_redundant=eliminate_redundant)
-        spmd = restructure(plan)
+        with activate(self.obs):
+            with obs.span("partitioning", cat="compile") as psp:
+                if isinstance(partition, Partition):
+                    part = partition
+                elif partition is not None:
+                    part = Partition(self.grid, tuple(partition))
+                elif processors is not None:
+                    part = self.partition_for(processors)
+                elif self.directives.partition:
+                    part = Partition(self.grid, self.directives.partition)
+                else:
+                    raise PartitionError(
+                        "no partition given: pass partition=, processors=, "
+                        "or a partition directive")
+                psp.args["dims"] = "x".join(str(p) for p in part.dims)
+            plan = build_plan(self.cu, part, self.directives,
+                              combine=combine,
+                              eliminate_redundant=eliminate_redundant)
+            with obs.span("codegen-restructure", cat="compile"):
+                spmd = restructure(plan)
         report = CompilationReport(
             program=self.cu.main.name,
             partition=part.dims,
@@ -152,7 +169,9 @@ class AutoCFD:
             pairs_active=len(plan.active_pairs),
             combined_points=len(plan.syncs),
             pipes=len(plan.pipes),
-            arrays=sorted(plan.arrays))
+            arrays=sorted(plan.arrays),
+            phases=[s for s in self.obs.spans() if s.cat == "compile"],
+            metrics=self.obs.metrics.snapshot())
         return CompileResult(plan=plan, spmd_cu=spmd, report=report)
 
     # -- execution -------------------------------------------------------------------
@@ -163,4 +182,5 @@ class AutoCFD:
         io = IoManager()
         if input_text is not None:
             io.provide_input(input_unit, input_text)
-        return run_compiled(self.cu, io=io)
+        with activate(self.obs):
+            return run_compiled(self.cu, io=io)

@@ -1,8 +1,17 @@
-"""Compilation reports: the quantities Table 1 tabulates."""
+"""Compilation reports: the quantities Table 1 tabulates.
+
+Besides the synchronization accounting, a report carries the compiler's
+observability output: one :class:`~repro.obs.Span` per pre-compiler phase
+(lex, parse, dependency analysis, self-dependence, combining, codegen)
+and a snapshot of the phase counters, so ``acfd report``/``acfd profile``
+can print where compilation time went.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs import Span
 
 
 @dataclass
@@ -18,6 +27,10 @@ class CompilationReport:
     pipes: int
     combined_points: int
     arrays: list[str] = field(default_factory=list)
+    #: timed pre-compiler phases (``cat == "compile"`` spans, in order)
+    phases: list[Span] = field(default_factory=list)
+    #: phase-counter snapshot (loops scanned, syncs before/after, ...)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def reduction_percent(self) -> float:
@@ -37,3 +50,34 @@ class CompilationReport:
     def header() -> str:
         return (f"{'program':<28s} {'partition':>9s} "
                 f"{'before':>6s} {'after':>6s} {'%opt':>7s}")
+
+    def phase_table(self) -> str:
+        """Per-phase compiler timing table (empty string if unprofiled)."""
+        if not self.phases:
+            return ""
+        total = sum(s.dur for s in self.phases) or 1.0
+        lines = [f"{'phase':<24s} {'time':>10s} {'share':>6s}  detail"]
+        for s in self.phases:
+            detail = " ".join(f"{k}={v}" for k, v in s.args.items())
+            lines.append(f"{s.name:<24s} {s.dur * 1e3:>7.2f} ms "
+                         f"{100 * s.dur / total:>5.1f}%  {detail}")
+        lines.append(f"{'total':<24s} {total * 1e3:>7.2f} ms")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``acfd report --json``)."""
+        return {
+            "program": self.program,
+            "partition": list(self.partition),
+            "syncs_before": self.syncs_before,
+            "syncs_after": self.syncs_after,
+            "reduction_percent": self.reduction_percent,
+            "pairs_total": self.pairs_total,
+            "pairs_active": self.pairs_active,
+            "pipes": self.pipes,
+            "combined_points": self.combined_points,
+            "arrays": list(self.arrays),
+            "phases": [{"name": s.name, "dur_s": s.dur, "args": s.args}
+                       for s in self.phases],
+            "metrics": self.metrics,
+        }

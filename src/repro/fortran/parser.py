@@ -896,15 +896,22 @@ def parse_source(text: str, filename: str = "<input>",
         resolve: run symbol resolution (Apply -> ArrayRef/FuncCall) and
             directive extraction.  Disable for raw-AST tests.
     """
-    src = split_source(text, filename, form)
-    parser = Parser(src.lines, filename)
-    cu = parser.parse_compilation_unit()
+    from repro.obs import spans as obs
+
+    with obs.span("lex-lines", cat="compile") as sp:
+        src = split_source(text, filename, form)
+        sp.args["lines"] = len(src.lines)
+    with obs.span("parse", cat="compile") as sp:
+        parser = Parser(src.lines, filename)
+        cu = parser.parse_compilation_unit()
+        sp.args["units"] = len(cu.units)
     if resolve:
         from repro.fortran.directives import extract_directives
         from repro.fortran.symbols import resolve_compilation_unit
 
-        resolve_compilation_unit(cu)
-        cu.directives = extract_directives(cu)
+        with obs.span("resolve", cat="compile"):
+            resolve_compilation_unit(cu)
+            cu.directives = extract_directives(cu)
     return cu
 
 

@@ -555,6 +555,8 @@ def run_program(cu: A.CompilationUnit, *, io: IoManager | None = None,
 
     Returns the interpreter so callers can inspect arrays and I/O output.
     """
+    from repro.obs import spans as obs
     interp = Interpreter(cu, io=io, max_steps=max_steps)
-    interp.run()
+    with obs.span("execute-interpreted", cat="execute"):
+        interp.run()
     return interp

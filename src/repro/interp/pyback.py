@@ -751,16 +751,20 @@ def compile_unit(cu: A.CompilationUnit,
         special_calls: extra callee-name -> Python-callable-text mappings
             (used by the SPMD backend to bind ``acfd_*`` runtime calls).
     """
+    from repro.obs import spans as obs
     for unit in cu.units:
         if unit.symbols is None:
             resolve_compilation_unit(cu)
             break
     special = dict(special_calls or {})
     units = {u.name: u for u in cu.units}
-    pieces = []
-    for unit in cu.units:
-        pieces.append(_UnitCompiler(unit, units, special).compile())
-    source = "\n\n".join(pieces)
+    with obs.span("pyback-compile", cat="compile") as sp:
+        pieces = []
+        for unit in cu.units:
+            pieces.append(_UnitCompiler(unit, units, special).compile())
+        source = "\n\n".join(pieces)
+        sp.args["units"] = len(cu.units)
+        sp.args["source_lines"] = source.count("\n") + 1
     namespace: dict = {
         "OffsetArray": OffsetArray,
         "_np": np,
@@ -788,4 +792,7 @@ def compile_unit(cu: A.CompilationUnit,
 
 def run_compiled(cu: A.CompilationUnit, io: IoManager | None = None) -> RunResult:
     """Compile and run a program in one call."""
-    return compile_unit(cu).run(io=io)
+    from repro.obs import spans as obs
+    prog = compile_unit(cu)
+    with obs.span("execute-sequential", cat="execute"):
+        return prog.run(io=io)

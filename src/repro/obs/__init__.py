@@ -1,0 +1,35 @@
+"""Unified observability: spans, metrics, timelines, Perfetto export.
+
+One subsystem measures both halves of the system:
+
+* **compiler side** — every pre-compiler phase (lex, parse, dependency
+  analysis, self-dependence detection, partitioning, combining, codegen)
+  runs inside a timed :class:`Span` recorded on the active
+  :class:`Profiler`, with phase-specific counters (loops scanned, syncs
+  before/after combining, halo widths) on a :class:`MetricsRegistry`;
+* **runtime side** — :class:`repro.runtime.trace.Trace` events carry
+  begin/end timestamps, and :class:`Timeline` rolls them up into per-rank
+  compute / blocked-wait / halo / collective breakdowns with per-frame
+  comm-compute ratios, load-imbalance factors, and the critical-path
+  rank (:class:`RunRollup` — the same object the cluster simulator
+  produces, so observed and simulated breakdowns compare directly);
+* **export** — :func:`chrome_trace` merges any set of span tracks into
+  Chrome-trace/Perfetto JSON (``acfd profile`` and ``--trace-out``).
+"""
+
+from repro.obs.export import (
+    build_export,
+    chrome_trace,
+    runtime_spans,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Profiler, Span, activate, counter, current, span
+from repro.obs.timeline import RankBreakdown, RunRollup, Timeline
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Profiler", "Span", "activate", "counter", "current", "span",
+    "RankBreakdown", "RunRollup", "Timeline",
+    "build_export", "chrome_trace", "runtime_spans", "write_chrome_trace",
+]

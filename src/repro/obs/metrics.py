@@ -1,0 +1,130 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Deliberately tiny — enough structure for the compiler phases, the
+runtime roll-ups, and the benchmark harness to share one vocabulary.
+All instruments are thread-safe; a registry snapshot is a plain dict
+ready for JSON export.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-set value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (e.g. widest halo seen)."""
+        with self._lock:
+            self._value = max(self._value, value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus log2 buckets."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket i counts observations with 2**(i-1) < v <= 2**i (v > 0)
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            b = 0 if value <= 0 else max(0, math.ceil(math.log2(value)))
+            self._buckets[b] = self._buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self):
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0}
+            return {"count": self.count, "sum": self.sum,
+                    "min": self.min, "max": self.max,
+                    "mean": self.sum / self.count,
+                    "buckets": dict(sorted(self._buckets.items()))}
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(name)
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: inst.snapshot()
+                for name, inst in sorted(instruments.items())}

@@ -32,6 +32,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter_ns
 
 import numpy as np
 
@@ -67,12 +68,13 @@ def _collective_tags(seq: int) -> tuple[int, int]:
 
 
 def _payload_bytes(obj) -> int:
+    # scalars first: the latency-critical path ships 8-byte payloads
+    if isinstance(obj, (int, float, bool, np.generic)):
+        return 8
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (list, tuple)):
         return sum(_payload_bytes(o) for o in obj)
-    if isinstance(obj, (int, float, bool, np.generic)):
-        return 8
     if isinstance(obj, str):
         return len(obj)
     if isinstance(obj, dict):
@@ -440,6 +442,9 @@ class Communicator:
         self._timeout = timeout
         self._detector = detector
         self._collective_seq = 0
+        # bound append for the hot-path raw-tuple records; safe to cache
+        # because Trace.clear() empties the list in place
+        self._tappend = trace.events.append
 
     # -- point-to-point --------------------------------------------------------
 
@@ -451,10 +456,16 @@ class Communicator:
         """
         self._check_rank(dest)
         self._check_tag(tag)
-        nbytes = _payload_bytes(obj)
         payload = obj if move else _copy_payload(obj)
-        self._trace.record(TraceEvent(self.rank, "send", dest, nbytes, tag,
-                                      saved_bytes=nbytes if move else 0))
+        if self._trace.enabled:
+            # latency-critical path: raw-tuple append (atomic under the
+            # GIL) with an absolute ns stamp — snapshot() normalizes;
+            # scalar sizing stays inline to skip the _payload_bytes call
+            cls = obj.__class__
+            nbytes = 8 if cls is int or cls is float \
+                else _payload_bytes(obj)
+            self._tappend((self.rank, "send", dest, nbytes, tag,
+                           nbytes if move else 0, perf_counter_ns()))
         self._mailboxes[dest].put(_Message(self.rank, tag, payload))
 
     def recv(self, source: int | None = None, tag: int | None = None):
@@ -464,9 +475,13 @@ class Communicator:
         if tag is not None:
             self._check_tag(tag)
         msg, waited = self._get(source, tag, "recv")
-        self._trace.record(TraceEvent(self.rank, "recv", msg.source,
-                                      _payload_bytes(msg.payload), msg.tag,
-                                      wait_s=waited))
+        if self._trace.enabled:
+            payload = msg.payload
+            cls = payload.__class__
+            nbytes = 8 if cls is int or cls is float \
+                else _payload_bytes(payload)
+            self._tappend((self.rank, "recv", msg.source, nbytes,
+                           msg.tag, waited, perf_counter_ns()))
         return msg.payload
 
     def isend(self, dest: int, obj, tag: int = 0) -> Request:
@@ -518,86 +533,118 @@ class Communicator:
         finally:
             if token is not None:
                 self._detector.unblock(self.rank)
-        self._trace.record(TraceEvent(self.rank, "barrier", None, 0,
-                                      wait_s=time.monotonic() - t0))
+        self._record_op("barrier", None, 0, t0, time.monotonic() - t0)
+
+    def _record_op(self, kind: str, peer: int | None, nbytes: int,
+                   t0_mono: float, waited: float) -> None:
+        """Record a completed operation as a span ending now."""
+        if not self._trace.enabled:
+            return
+        epoch = self._trace.epoch
+        now = time.monotonic()
+        self._trace.record(TraceEvent(self.rank, kind, peer, nbytes,
+                                      wait_s=waited,
+                                      t0=t0_mono - epoch, t1=now - epoch))
 
     def bcast(self, obj=None, root: int = 0):
         """Broadcast from *root*; all ranks return the object."""
+        t0 = time.monotonic()
+        result, waited = self._bcast_impl(obj, root)
+        self._record_op("bcast", root,
+                        _payload_bytes(obj) if obj is not None else 0,
+                        t0, waited)
+        return result
+
+    def _bcast_impl(self, obj, root: int):
         tag, _ = self._next_collective_tags()
-        self._trace.record(TraceEvent(self.rank, "bcast", root,
-                                      _payload_bytes(obj) if obj is not None
-                                      else 0))
         if self.rank == root:
             for dest in range(self.size):
                 if dest != root:
                     payload = _copy_payload(obj)
                     self._mailboxes[dest].put(_Message(self.rank, tag, payload))
-            return obj
-        msg, _waited = self._get(root, tag, "bcast")
-        return msg.payload
+            return obj, 0.0
+        msg, waited = self._get(root, tag, "bcast")
+        return msg.payload, waited
 
     def reduce(self, value, op: str = "sum", root: int = 0):
         """Reduce to *root*; other ranks return None."""
         reducer = self._op(op)
         tag, _ = self._next_collective_tags()
-        self._trace.record(TraceEvent(self.rank, "reduce", root,
-                                      _payload_bytes(value)))
+        t0 = time.monotonic()
+        waited = 0.0
         if self.rank == root:
             acc = _copy_payload(value)
             for _ in range(self.size - 1):
-                msg, _waited = self._get(None, tag, "reduce")
+                msg, w = self._get(None, tag, "reduce")
+                waited += w
                 acc = reducer(acc, msg.payload)
+            self._record_op("reduce", root, _payload_bytes(value), t0, waited)
             return acc
         self._mailboxes[root].put(
             _Message(self.rank, tag, _copy_payload(value)))
+        self._record_op("reduce", root, _payload_bytes(value), t0, waited)
         return None
 
     def allreduce(self, value, op: str = "sum"):
         """Reduce + broadcast; all ranks return the reduced value."""
         reducer = self._op(op)
         up_tag, down_tag = self._next_collective_tags()
-        self._trace.record(TraceEvent(self.rank, "allreduce", None,
-                                      _payload_bytes(value)))
+        t0 = time.monotonic()
+        waited = 0.0
         root = 0
         if self.rank == root:
             acc = _copy_payload(value)
             for _ in range(self.size - 1):
-                msg, _waited = self._get(None, up_tag, "allreduce")
+                msg, w = self._get(None, up_tag, "allreduce")
+                waited += w
                 acc = reducer(acc, msg.payload)
             for dest in range(1, self.size):
                 self._mailboxes[dest].put(
                     _Message(root, down_tag, _copy_payload(acc)))
-            return acc
-        self._mailboxes[root].put(
-            _Message(self.rank, up_tag, _copy_payload(value)))
-        msg, _waited = self._get(root, down_tag, "allreduce")
-        return msg.payload
+            result = acc
+        else:
+            self._mailboxes[root].put(
+                _Message(self.rank, up_tag, _copy_payload(value)))
+            msg, waited = self._get(root, down_tag, "allreduce")
+            result = msg.payload
+        self._record_op("allreduce", None, _payload_bytes(value), t0, waited)
+        return result
 
     def gather(self, value, root: int = 0):
         """Gather to *root* (list indexed by rank); others return None."""
+        t0 = time.monotonic()
+        result, waited = self._gather_impl(value, root)
+        self._record_op("gather", root, _payload_bytes(value), t0, waited)
+        return result
+
+    def _gather_impl(self, value, root: int):
         tag, _ = self._next_collective_tags()
-        self._trace.record(TraceEvent(self.rank, "gather", root,
-                                      _payload_bytes(value)))
         if self.rank == root:
             out: list = [None] * self.size
             out[root] = _copy_payload(value)
+            waited = 0.0
             for _ in range(self.size - 1):
-                msg, _waited = self._get(None, tag, "gather")
+                msg, w = self._get(None, tag, "gather")
+                waited += w
                 out[msg.source] = msg.payload
-            return out
+            return out, waited
         self._mailboxes[root].put(
             _Message(self.rank, tag, _copy_payload(value)))
-        return None
+        return None, 0.0
 
     def allgather(self, value) -> list:
-        """Gather + broadcast."""
-        gathered = self.gather(value, root=0)
-        return self.bcast(gathered, root=0)
+        """Gather + broadcast — one synchronization, one trace event."""
+        t0 = time.monotonic()
+        gathered, waited_up = self._gather_impl(value, 0)
+        result, waited_down = self._bcast_impl(gathered, 0)
+        self._record_op("allgather", None, _payload_bytes(value), t0,
+                        waited_up + waited_down)
+        return result
 
     def scatter(self, values=None, root: int = 0):
         """Scatter a per-rank list from *root*."""
         tag, _ = self._next_collective_tags()
-        self._trace.record(TraceEvent(self.rank, "scatter", root, 0))
+        t0 = time.monotonic()
         if self.rank == root:
             if values is None or len(values) != self.size:
                 raise RuntimeCommError(
@@ -606,8 +653,10 @@ class Communicator:
                 if dest != root:
                     self._mailboxes[dest].put(
                         _Message(root, tag, _copy_payload(values[dest])))
+            self._record_op("scatter", root, 0, t0, 0.0)
             return values[root]
-        msg, _waited = self._get(root, tag, "scatter")
+        msg, waited = self._get(root, tag, "scatter")
+        self._record_op("scatter", root, 0, t0, waited)
         return msg.payload
 
     # -- misc -------------------------------------------------------------------------

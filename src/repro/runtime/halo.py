@@ -192,17 +192,30 @@ class HaloExchanger:
         include the ghost layers already received for earlier dimensions,
         which transports the diagonal (corner) values nine-point stencils
         need without dedicated corner messages.
+
+        Tracing: besides the per-message send/recv events, each pack and
+        unpack copy is recorded as a ``halo_pack`` / ``halo_unpack`` span
+        and the whole exchange as an enveloping ``exchange`` span, so the
+        timeline can separate halo copying from blocked waiting.
         """
         comm = self.cart.comm
-        comm.trace.record(TraceEvent(comm.rank, "exchange", None, 0,
-                                     self.point_id))
+        trace = comm.trace
+        timed = trace.enabled
+        tx0 = trace.now() if timed else 0.0
         for dim in range(self.cart.ndims):
             recvs: list[int] = []
             for direction in (-1, 1):
                 if self.cart.neighbor(dim, direction) is None:
                     continue
+                tp0 = trace.now() if timed else 0.0
                 payload = [spec.send_section(dim, direction, self.pool)
                            for spec in self.specs]
+                if timed:
+                    trace.record(TraceEvent(
+                        comm.rank, "halo_pack", None,
+                        sum(int(b.nbytes) for b in payload),
+                        halo_tag(self.point_id, dim, direction),
+                        t0=tp0, t1=trace.now()))
                 self.cart.send_dir(dim, direction, payload,
                                    halo_tag(self.point_id, dim, direction),
                                    move=True)
@@ -215,6 +228,9 @@ class HaloExchanger:
                     dim, direction,
                     halo_tag(self.point_id, dim, -direction))
                 self._unpack(dim, direction, payload)
+        if timed:
+            trace.record(TraceEvent(comm.rank, "exchange", None, 0,
+                                    self.point_id, t0=tx0, t1=trace.now()))
 
     def _unpack(self, dim: int, direction: int,
                 payload: list[np.ndarray]) -> None:
@@ -222,8 +238,17 @@ class HaloExchanger:
             raise RuntimeCommError(
                 f"halo message carries {len(payload)} sections for "
                 f"{len(self.specs)} arrays")
+        trace = self.cart.comm.trace
+        tu0 = trace.now() if trace.enabled else 0.0
+        nbytes = 0
         for spec, section in zip(self.specs, payload):
             ranges = spec.recv_ranges(dim, direction)
             if ranges is not None:
                 spec.array.set_section(ranges, section)
+                nbytes += int(section.nbytes)
             self.pool.release(section)
+        if trace.enabled:
+            trace.record(TraceEvent(
+                self.cart.comm.rank, "halo_unpack", None, nbytes,
+                halo_tag(self.point_id, dim, -direction),
+                t0=tu0, t1=trace.now()))

@@ -2,31 +2,55 @@
 
 Every send, receive, barrier, collective, and halo exchange is recorded
 with its payload size, the wall-clock time the rank spent blocked waiting
-for it (``wait_s``), and the bytes the zero-copy fast path avoided
-duplicating (``saved_bytes``).  The test suite uses traces to assert that
-the number of synchronizations the *runtime actually performs* per frame
-equals the number the *pre-compiler predicted* after optimization (Table
-1's "after" column); the benchmark harness feeds traces — including the
-wait-time and copy-savings accounting — to the cluster simulator.
+for it (``wait_s``), the bytes the zero-copy fast path avoided
+duplicating (``saved_bytes``), and — since the observability overhaul —
+begin/end timestamps (``t0``/``t1``, seconds since the trace ``epoch``),
+which turn the event log into per-rank *spans*.  The test suite uses
+traces to assert that the number of synchronizations the *runtime
+actually performs* per frame equals the number the *pre-compiler
+predicted* after optimization (Table 1's "after" column); the benchmark
+harness feeds traces — including the wait-time and copy-savings
+accounting — to the cluster simulator, and
+:class:`repro.obs.timeline.Timeline` rolls the spans up into per-rank
+compute / blocked / halo / collective breakdowns.
 
 All query methods take the collector lock, so they are safe to call while
-ranks are still recording.
+ranks are still recording.  A trace constructed with ``enabled=False``
+drops all records — the baseline for the instrumentation-overhead guard
+in ``benchmarks/test_micro_runtime.py``.
+
+Recording discipline: the latency-critical point-to-point path appends
+*raw 7-tuples* straight onto ``events`` — an append is atomic under the
+GIL, and a short tuple of ints costs a fraction of any class
+construction — while everything off the hot path records
+:class:`TraceEvent` objects via :meth:`Trace.record`.  Raw entries carry
+one absolute ``time.perf_counter_ns()`` stamp (the cheapest clock read
+CPython offers) and are shaped ``(rank, kind, peer, nbytes, tag,
+extra, t_ns)`` where ``extra`` is ``saved_bytes`` for sends and
+``wait_s`` for receives.  :meth:`Trace.snapshot` normalizes both forms
+into epoch-relative ``TraceEvent``s, so queries never see a raw entry.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
+#: every event kind that is a synchronization in the Table-1 sense:
+#: the rank cannot proceed until (some) other ranks participate.
+SYNC_KINDS = ("exchange", "barrier", "allreduce", "reduce", "bcast",
+              "gather", "scatter", "allgather")
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class TraceEvent:
     """One runtime communication event."""
 
     rank: int
     kind: str  # send | recv | bcast | reduce | allreduce | barrier |
-    #            gather | scatter | allgather | exchange | pipeline_recv |
-    #            pipeline_send
+    #            gather | scatter | allgather | exchange | halo_pack |
+    #            halo_unpack | pipeline_recv | pipeline_send | rank
     peer: int | None
     nbytes: int
     tag: int | None = None
@@ -34,71 +58,124 @@ class TraceEvent:
     wait_s: float = 0.0
     #: payload bytes the zero-copy (move) path did not duplicate
     saved_bytes: int = 0
+    #: begin/end timestamps (seconds since the trace epoch); events
+    #: recorded without timing carry t0 == t1 == 0.0
+    t0: float = 0.0
+    t1: float = 0.0
+
+    @property
+    def dur(self) -> float:
+        return self.t1 - self.t0
 
 
 @dataclass
 class Trace:
     """Thread-safe event collector shared by all ranks of a world."""
 
-    events: list[TraceEvent] = field(default_factory=list)
+    #: the raw log: TraceEvent objects (epoch-relative timestamps) mixed
+    #: with hot-path 7-tuples (absolute timestamps) — read via snapshot()
+    events: list = field(default_factory=list)
+    #: monotonic base all event timestamps are relative to
+    epoch: float = field(default_factory=time.monotonic)
+    #: perf_counter_ns() captured at the same instant as ``epoch``; the
+    #: base hot-path raw stamps are rebased against
+    epoch_ns: int = field(default_factory=time.perf_counter_ns)
+    #: False drops all records (overhead-measurement baseline)
+    enabled: bool = True
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
+    def now(self) -> float:
+        """Seconds since this trace's epoch."""
+        return time.monotonic() - self.epoch
+
     def record(self, event: TraceEvent) -> None:
+        if not self.enabled:
+            return
         with self._lock:
             self.events.append(event)
 
     # -- queries ---------------------------------------------------------------
 
-    def _snapshot(self) -> list[TraceEvent]:
+    def snapshot(self) -> list[TraceEvent]:
+        """Consistent, normalized copy of the event list (safe while
+        recording): hot-path raw tuples materialize as TraceEvents with
+        their absolute stamps rebased onto the epoch."""
         with self._lock:
-            return list(self.events)
+            items = list(self.events)
+        epoch_ns = self.epoch_ns
+        out = []
+        for e in items:
+            if type(e) is TraceEvent:
+                out.append(e)
+            elif e[1] == "send":
+                t = (e[6] - epoch_ns) * 1e-9
+                out.append(TraceEvent(e[0], "send", e[2], e[3], e[4],
+                                      0.0, e[5], t, t))
+            else:  # recv: extra slot is wait_s, stamp is completion
+                t1 = (e[6] - epoch_ns) * 1e-9
+                out.append(TraceEvent(e[0], "recv", e[2], e[3], e[4],
+                                      e[5], 0, t1 - e[5], t1))
+        return out
+
+    # kept for in-tree callers predating the public name
+    _snapshot = snapshot
 
     def count(self, kind: str, rank: int | None = None) -> int:
         """Number of events of *kind* (optionally for one rank)."""
-        return sum(1 for e in self._snapshot()
+        return sum(1 for e in self.snapshot()
                    if e.kind == kind and (rank is None or e.rank == rank))
 
     def bytes_sent(self, rank: int | None = None) -> int:
         """Total payload bytes sent (point-to-point sends only)."""
-        return sum(e.nbytes for e in self._snapshot()
+        return sum(e.nbytes for e in self.snapshot()
                    if e.kind in ("send", "pipeline_send")
                    and (rank is None or e.rank == rank))
 
     def sync_count(self, rank: int | None = None) -> int:
-        """Synchronization operations: exchanges, barriers, reductions."""
-        kinds = ("exchange", "barrier", "allreduce", "reduce", "bcast")
-        return sum(1 for e in self._snapshot()
-                   if e.kind in kinds and (rank is None or e.rank == rank))
+        """Synchronization operations: exchanges, barriers, collectives
+        (including gathers, scatters, and allgathers)."""
+        return sum(1 for e in self.snapshot()
+                   if e.kind in SYNC_KINDS
+                   and (rank is None or e.rank == rank))
 
     def messages(self, rank: int | None = None) -> list[TraceEvent]:
-        return [e for e in self._snapshot()
+        return [e for e in self.snapshot()
                 if e.kind in ("send", "pipeline_send")
                 and (rank is None or e.rank == rank)]
 
     def wait_time(self, rank: int | None = None) -> float:
         """Total wall-clock seconds ranks spent blocked in receives,
         barriers, and collectives."""
-        return sum(e.wait_s for e in self._snapshot()
+        return sum(e.wait_s for e in self.snapshot()
                    if rank is None or e.rank == rank)
 
     def saved_bytes(self, rank: int | None = None) -> int:
         """Payload bytes the zero-copy send path avoided duplicating."""
-        return sum(e.saved_bytes for e in self._snapshot()
+        return sum(e.saved_bytes for e in self.snapshot()
                    if rank is None or e.rank == rank)
 
     def comm_stats(self) -> dict:
         """Aggregate communication accounting for benchmarks/simulation."""
-        events = self._snapshot()
+        events = self.snapshot()
         sends = [e for e in events if e.kind in ("send", "pipeline_send")]
-        sync_kinds = ("exchange", "barrier", "allreduce", "reduce", "bcast")
+        syncs_by_kind: dict[str, int] = {}
+        for e in events:
+            if e.kind in SYNC_KINDS:
+                syncs_by_kind[e.kind] = syncs_by_kind.get(e.kind, 0) + 1
         return {
             "sends": len(sends),
             "bytes_sent": sum(e.nbytes for e in sends),
             "saved_bytes": sum(e.saved_bytes for e in events),
             "wait_s": sum(e.wait_s for e in events),
-            "syncs": sum(1 for e in events if e.kind in sync_kinds),
+            "syncs": sum(syncs_by_kind.values()),
+            "syncs_by_kind": syncs_by_kind,
         }
+
+    def timeline(self):
+        """Classified per-rank view (:class:`repro.obs.timeline.Timeline`)."""
+        from repro.obs.timeline import Timeline
+        return Timeline.from_trace(self)
 
     def clear(self) -> None:
         with self._lock:

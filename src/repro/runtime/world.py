@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import RuntimeCommError, RuntimeDeadlockError
 from repro.runtime.comm import Communicator, DeadlockDetector, _Mailbox
-from repro.runtime.trace import Trace
+from repro.runtime.trace import Trace, TraceEvent
 
 
 @dataclass
@@ -61,7 +61,12 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         comm = Communicator(rank, size, mailboxes, barrier, world.trace,
                             failed, timeout, detector)
         try:
+            t0 = world.trace.now()
             world.results[rank] = fn(comm)
+            # the rank's execution window: envelope span the timeline
+            # subtracts instrumented intervals from to get compute time
+            world.trace.record(TraceEvent(rank, "rank", None, 0,
+                                          t0=t0, t1=world.trace.now()))
             detector.rank_done(rank)
         except BaseException as exc:  # noqa: BLE001 - must propagate all
             with errors_lock:

@@ -33,6 +33,8 @@ from repro.codegen.schedule import (
     extract_schedule,
 )
 from repro.errors import SimulationError
+from repro.obs.spans import Span
+from repro.obs.timeline import RankBreakdown, RunRollup
 from repro.partition.halo import ghost_bounds
 from repro.partition.partitioner import Partition
 from repro.simulate.machine import MachineModel
@@ -51,6 +53,8 @@ class SimResult:
     frames: int
     oom_ranks: list[int] = field(default_factory=list)
     working_set: list[int] = field(default_factory=list)
+    #: per-phase simulated spans (populated with ``record_timeline=True``)
+    spans: list[Span] = field(default_factory=list)
 
     @property
     def any_oom(self) -> bool:
@@ -62,6 +66,20 @@ class SimResult:
     def efficiency(self, sequential_time: float, processors: int) -> float:
         return self.speedup(sequential_time) / processors
 
+    def rollup(self) -> RunRollup:
+        """The simulated breakdown in the runtime's roll-up shape.
+
+        Categories map onto the simulator's accounting: the neighbor
+        exchanges land in ``halo``, pipeline stalls in ``blocked``;
+        the simulator does not split out pack/send/collective time.
+        """
+        ranks = [RankBreakdown(rank=r, total=self.per_rank[r],
+                               compute=self.compute_time[r],
+                               blocked=self.pipe_wait[r],
+                               halo=self.comm_time[r])
+                 for r in range(len(self.per_rank))]
+        return RunRollup(source="simulated", ranks=ranks)
+
 
 class ClusterSim:
     """Simulates one compiled plan on a modeled cluster."""
@@ -71,8 +89,14 @@ class ClusterSim:
                  network: NetworkModel | None = None,
                  chunks: int = 8,
                  schedule: FrameSchedule | None = None,
-                 barrier_syncs: bool = True) -> None:
+                 barrier_syncs: bool = True,
+                 record_timeline: bool = False) -> None:
         self.plan = plan
+        #: collect per-phase Spans during the simulated (non-extrapolated)
+        #: frames so the predicted timeline can sit next to the observed
+        #: one in a Chrome-trace export
+        self.record_timeline = record_timeline
+        self._spans: list[Span] = []
         self.partition: Partition = plan.partition
         self.machine = machine if machine is not None else MachineModel()
         self.network = network if network is not None else NetworkModel()
@@ -126,6 +150,12 @@ class ClusterSim:
 
     # -- phase execution ---------------------------------------------------------------
 
+    def _mark(self, rank: int, name: str, cat: str,
+              t0: float, t1: float, **args) -> None:
+        if self.record_timeline and t1 > t0:
+            self._spans.append(Span(name, cat, t0, t1, track="sim",
+                                    tid=rank, args=args))
+
     def _do_compute(self, t: list[float], compute: list[float],
                     pipe_wait: list[float], phase: ComputePhase) -> None:
         if phase.pipeline_dims:
@@ -134,6 +164,7 @@ class ClusterSim:
         for r in range(self.size):
             work = self._phase_points(r, phase) * phase.ops_per_point \
                 * phase.repeat * self.op_time[r]
+            self._mark(r, phase.name, "compute", t[r], t[r] + work)
             t[r] += work
             compute[r] += work
 
@@ -168,14 +199,20 @@ class ClusterSim:
                 prev = finish[r][k]
         for r in range(self.size):
             end = finish[r][K - 1]
+            waited = max(0.0, (end - t[r]) - work[r])
+            self._mark(r, f"pipe-wait:{phase.name}", "blocked",
+                       t[r], t[r] + waited)
+            self._mark(r, phase.name, "compute", end - work[r], end,
+                       pipelined=1)
             compute[r] += work[r]
-            pipe_wait[r] += max(0.0, (end - t[r]) - work[r])
+            pipe_wait[r] += waited
             t[r] = end
 
     def _do_comm(self, t: list[float], comm: list[float],
                  phase: CommPhase) -> None:
         """One combined synchronization: aggregated neighbor exchange."""
         net = self.network
+        start = list(t)
         # 1. sends serialize through each NIC starting at the local clock
         injection_end: dict[tuple[int, int], float] = {}
         send_done = list(t)
@@ -226,6 +263,9 @@ class ClusterSim:
             for r in range(self.size):
                 comm[r] += done - t[r]
                 t[r] = done
+        for r in range(self.size):
+            self._mark(r, f"exchange#{phase.sync_id}", "halo",
+                       start[r], t[r], sync_id=phase.sync_id)
 
     def _do_reduce(self, t: list[float], comm: list[float],
                    phase: ReducePhase) -> None:
@@ -235,6 +275,8 @@ class ClusterSim:
         cost = 2 * rounds * self.network.message_time(8) * phase.count
         done = max(t) + cost
         for r in range(self.size):
+            self._mark(r, "allreduce", "collective", t[r], done,
+                       count=phase.count)
             comm[r] += done - t[r]
             t[r] = done
 
@@ -244,6 +286,7 @@ class ClusterSim:
         """Simulate *frames* frame iterations (steady-state extrapolated)."""
         if frames < 1:
             raise SimulationError(f"frames must be >= 1, got {frames}")
+        self._spans = []
         t = [0.0] * self.size
         compute = [0.0] * self.size
         comm = [0.0] * self.size
@@ -288,7 +331,8 @@ class ClusterSim:
         return SimResult(total_time=max(t), per_rank=t,
                          compute_time=compute, comm_time=comm,
                          pipe_wait=pipe_wait, frames=frames,
-                         oom_ranks=oom, working_set=list(self.working_set))
+                         oom_ranks=oom, working_set=list(self.working_set),
+                         spans=list(self._spans))
 
 
 def simulate_run(plan: ParallelPlan, frames: int,

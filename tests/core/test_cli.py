@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_partition, main
@@ -58,6 +60,19 @@ class TestReport:
         assert main(["report", src_file]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_json_output(self, src_file, capsys):
+        assert main(["report", src_file, "-p", "2x1", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        r = reports[0]
+        assert r["partition"] == [2, 1]
+        assert r["syncs_after"] <= r["syncs_before"]
+        # compiler phase timings ride along in the JSON report
+        phase_names = {p["name"] for p in r["phases"]}
+        assert "parse" in phase_names
+        assert "sync-combining" in phase_names
+        assert r["metrics"]["compile.syncs_after"] == r["syncs_after"]
+
 
 class TestRun:
     def test_run_compares(self, src_file, capsys):
@@ -96,6 +111,62 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "2x2" in out
+
+    def test_simulate_trace_out(self, src_file, tmp_path, capsys):
+        trace_path = tmp_path / "sim.trace.json"
+        assert main(["simulate", src_file, "-p", "2x1", "--frames", "10",
+                     "--trace-out", str(trace_path)]) == 0
+        data = json.loads(trace_path.read_text())
+        names = {e["args"]["name"] for e in data["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert "simulated" in names
+
+
+class TestRunTraceOut:
+    def test_run_writes_chrome_trace(self, src_file, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        assert main(["run", src_file, "-p", "2x1",
+                     "--trace-out", str(trace_path)]) == 0
+        data = json.loads(trace_path.read_text())
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+        # both the compiler phases and the runtime ranks are present
+        assert {e["pid"] for e in complete} == {1, 2}
+
+
+class TestProfile:
+    def test_profile_report(self, src_file, tmp_path, capsys):
+        trace_path = tmp_path / "prof.trace.json"
+        assert main(["profile", src_file, "-p", "2x1", "--frames", "20",
+                     "--trace-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        # (a) per-phase compiler timing table
+        assert "compiler phases" in out
+        assert "dependency-analysis" in out
+        assert "codegen-restructure" in out
+        # (b) per-rank breakdown with derived health numbers
+        assert "parallel run (observed)" in out
+        assert "compute" in out and "blocked" in out
+        assert "load imbalance" in out
+        assert "critical-path rank" in out
+        # simulated comparison in the same shape
+        assert "simulated" in out
+        # (c) Chrome-trace JSON written
+        data = json.loads(trace_path.read_text())
+        pids = {e["pid"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert pids == {1, 2, 3}  # compiler + runtime + simulated
+
+    def test_profile_default_trace_path(self, src_file, capsys, monkeypatch):
+        import pathlib
+        monkeypatch.chdir(pathlib.Path(src_file).parent)
+        assert main(["profile", src_file, "-p", "2x1",
+                     "--frames", "10"]) == 0
+        out = capsys.readouterr().out
+        expected = src_file.rsplit(".", 1)[0] + ".trace.json"
+        assert expected in out
+        assert pathlib.Path(expected).exists()
 
 
 class TestErrors:

@@ -1,0 +1,130 @@
+"""Chrome-trace export: schema validation on a real parallel run."""
+
+import json
+
+import pytest
+
+from repro.core import AutoCFD
+from repro.obs import build_export, chrome_trace, runtime_spans
+from repro.obs.export import write_chrome_trace
+from repro.obs.spans import Span
+
+SRC = """\
+!$acfd status v
+!$acfd grid 16 8
+!$acfd frame iter
+program flow
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = 16, m = 8)
+  real v(n, m), vnew(n, m)
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = i + j
+    end do
+  end do
+  do iter = 1, 3
+    do i = 2, n - 1
+      do j = 2, m - 1
+        vnew(i, j) = 0.25 * (v(i-1,j) + v(i+1,j) + v(i,j-1) + v(i,j+1))
+      end do
+    end do
+    do i = 2, n - 1
+      do j = 2, m - 1
+        v(i, j) = vnew(i, j)
+      end do
+    end do
+  end do
+end program flow
+"""
+
+
+@pytest.fixture(scope="module")
+def run():
+    acfd = AutoCFD.from_source(SRC)
+    result = acfd.compile(partition=(2, 1))
+    par = result.run_parallel()
+    return acfd, result, par
+
+
+class TestChromeTraceSchema:
+    def test_complete_event_schema(self, run):
+        acfd, _result, par = run
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        assert set(data) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert complete, "export carries no duration events"
+        for e in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert isinstance(e["pid"], int) and e["pid"] >= 1
+            assert isinstance(e["tid"], int)
+
+    def test_ranks_are_tids_on_the_runtime_process(self, run):
+        acfd, result, par = run
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        meta = {(e["pid"], e["args"]["name"])
+                for e in data["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "process_name"}
+        pid_by_name = {name: pid for pid, name in meta}
+        assert set(pid_by_name) == {"compiler", "runtime"}
+        runtime_tids = {e["tid"] for e in data["traceEvents"]
+                        if e["ph"] == "X"
+                        and e["pid"] == pid_by_name["runtime"]}
+        assert runtime_tids == set(range(result.plan.partition.size))
+
+    def test_compiler_phases_present(self, run):
+        acfd, _result, par = run
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+        for phase in ("parse", "dependency-analysis", "codegen-restructure",
+                      "sync-combining"):
+            assert phase in names
+
+    def test_json_serializable_and_written(self, run, tmp_path):
+        acfd, _result, par = run
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        path = write_chrome_trace(str(tmp_path / "out.trace.json"), data)
+        loaded = json.loads(open(path, encoding="utf-8").read())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == len(data["traceEvents"])
+
+    def test_runtime_track_aligned_after_compile(self, run):
+        """Compilation happened before the run, so with the epoch
+        alignment no runtime span may start before the first compiler
+        span."""
+        acfd, _result, par = run
+        data = build_export(compiler=acfd.obs, trace=par.trace)
+        by_pid: dict[int, list] = {}
+        for e in data["traceEvents"]:
+            if e["ph"] == "X":
+                by_pid.setdefault(e["pid"], []).append(e["ts"])
+        assert min(by_pid[1]) <= min(by_pid[2])
+
+
+class TestTrackMerging:
+    def test_runtime_spans_envelope_names(self, run):
+        _acfd, _result, par = run
+        spans = runtime_spans(par.trace)
+        names = {s.name for s in spans}
+        assert any(n.startswith("exchange#") for n in names)
+        assert all(s.track == "runtime" for s in spans)
+
+    def test_sim_track(self, run):
+        from repro.simulate import ClusterSim
+        _acfd, result, _par = run
+        sim = ClusterSim(result.plan, record_timeline=True)
+        out = sim.run(3)
+        assert out.spans, "record_timeline collected no spans"
+        data = build_export(sim_spans=out.spans)
+        cats = {e["cat"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert "compute" in cats
+        assert "halo" in cats
+
+    def test_normalizes_earliest_ts_to_zero(self):
+        spans = [Span("a", t0=5.0, t1=6.0), Span("b", t0=7.0, t1=7.5)]
+        data = chrome_trace([("compiler", spans, 0.0)])
+        ts = [e["ts"] for e in data["traceEvents"] if e["ph"] == "X"]
+        assert min(ts) == 0.0
+        assert max(ts) == pytest.approx(2e6)

@@ -124,6 +124,68 @@ class TestTrace:
         w = spmd_run(2, body)
         assert w.trace.sync_count(rank=0) == 2
 
+    def test_sync_count_includes_gather_scatter_allgather(self):
+        """Regression: gathers, scatters, and allgathers are Table-1
+        synchronizations too — sync_count used to miss all three."""
+        def body(comm):
+            comm.gather(comm.rank, root=0)
+            comm.scatter(list(range(comm.size)) if comm.rank == 0 else None,
+                         root=0)
+            comm.allgather(comm.rank)
+
+        w = spmd_run(2, body)
+        assert w.trace.sync_count(rank=0) == 3
+        assert w.trace.sync_count() == 6
+
+    def test_comm_stats_syncs_by_kind(self):
+        def body(comm):
+            comm.barrier()
+            comm.gather(comm.rank, root=0)
+            comm.allgather(comm.rank)
+
+        w = spmd_run(2, body)
+        stats = w.trace.comm_stats()
+        assert stats["syncs_by_kind"] == {"barrier": 2, "gather": 2,
+                                          "allgather": 2}
+        assert stats["syncs"] == 6
+
+    def test_allgather_traced_as_one_sync(self):
+        """An allgather is one synchronization, not a gather + a bcast."""
+        def body(comm):
+            return comm.allgather(comm.rank)
+
+        w = spmd_run(3, body)
+        assert w.results == [[0, 1, 2]] * 3
+        assert w.trace.count("allgather", rank=0) == 1
+        assert w.trace.count("gather") == 0
+        assert w.trace.count("bcast") == 0
+
+    def test_span_timestamps_on_events(self):
+        """Every traced operation carries a begin/end interval."""
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, [1.0] * 100)
+            else:
+                comm.recv(0)
+            comm.barrier()
+
+        w = spmd_run(2, body)
+        for e in w.trace.snapshot():
+            assert e.t1 >= e.t0 >= 0.0
+        recv = [e for e in w.trace.snapshot() if e.kind == "recv"][0]
+        assert recv.dur >= recv.wait_s >= 0.0
+
+    def test_disabled_trace_records_nothing(self):
+        trace = Trace(enabled=False)
+
+        def body(comm):
+            comm.barrier()
+            comm.allreduce(1, "sum")
+
+        spmd_run(2, body, trace=trace)
+        assert trace.events == []
+        assert trace.comm_stats()["syncs"] == 0
+
     def test_external_trace_object(self):
         trace = Trace()
         spmd_run(2, lambda comm: comm.barrier(), trace=trace)

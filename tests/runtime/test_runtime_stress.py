@@ -117,6 +117,99 @@ class TestConcurrentTraceAccess:
         assert trace.count("send") == SIZE * N
         assert trace.count("barrier") == SIZE
 
+    def test_timeline_rollups_race_recording(self):
+        # build timelines and roll-ups from the launcher thread while 8
+        # ranks are recording; derived numbers must stay finite and
+        # non-negative and nothing may raise
+        trace = Trace()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    tl = trace.timeline()
+                    roll = tl.rollup()
+                    assert roll.load_imbalance >= 1.0
+                    for b in roll.ranks:
+                        assert b.total >= 0.0
+                        assert b.blocked >= 0.0
+                    tl.frames()
+                    tl.per_frame()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        SIZE, N = 8, 100
+
+        def body(comm):
+            nxt = (comm.rank + 1) % SIZE
+            prev = (comm.rank - 1) % SIZE
+            for i in range(N):
+                comm.send(nxt, i, tag=0)
+                comm.recv(prev, tag=0)
+                if i % 25 == 0:
+                    comm.allreduce(i, "max")
+            return True
+
+        try:
+            w = spmd_run(SIZE, body, trace=trace, timeout=60.0)
+        finally:
+            stop.set()
+            t.join()
+        assert not errors, errors[:1]
+        assert all(w.results)
+        # settled trace: every rank window covers its leaf events
+        roll = trace.timeline().rollup()
+        assert len(roll.ranks) == SIZE
+        for b in roll.ranks:
+            assert b.total >= b.blocked + b.send - 1e-9
+
+    def test_rollup_queries_race_clear(self):
+        # clear() while readers roll up: snapshots keep queries
+        # self-consistent even as the event list vanishes underneath
+        trace = Trace()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    roll = trace.timeline().rollup()
+                    assert roll.comm_time >= 0.0
+                    trace.comm_stats()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def clearer():
+            while not stop.is_set():
+                trace.clear()
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        wiper = threading.Thread(target=clearer)
+        for t in (*readers, wiper):
+            t.start()
+        SIZE = 8
+
+        def body(comm):
+            nxt = (comm.rank + 1) % SIZE
+            prev = (comm.rank - 1) % SIZE
+            for i in range(60):
+                comm.send(nxt, i, tag=0)
+                comm.recv(prev, tag=0)
+            comm.barrier()
+            return True
+
+        try:
+            w = spmd_run(SIZE, body, trace=trace, timeout=60.0)
+        finally:
+            stop.set()
+            for t in (*readers, wiper):
+                t.join()
+        assert not errors, errors[:1]
+        assert all(w.results)
+
 
 class TestDeadlockDetection:
     def test_two_rank_cycle_is_named(self):
