@@ -94,15 +94,24 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _vectorize_flag(args) -> bool:
+    """--backend vector/scalar -> compile_unit's vectorize switch."""
+    return getattr(args, "backend", "vector") != "scalar"
+
+
 def cmd_run(args) -> int:
     acfd = _load(args.source)
     input_text = None
     if args.input:
         with open(args.input, "r", encoding="utf-8") as fh:
             input_text = fh.read()
+    vec = _vectorize_flag(args)
     result = _compile_args(acfd, args)[0]
-    seq = acfd.run_sequential(input_text=input_text)
-    par = result.run_parallel(input_text=input_text)
+    print(f"backend: {'vectorized' if vec else 'scalar'} numpy "
+          f"({result.report.vector_loops} loops vectorized, "
+          f"{result.report.fallback_loops} scalar fallbacks)")
+    seq = acfd.run_sequential(input_text=input_text, vectorize=vec)
+    par = result.run_parallel(input_text=input_text, vectorize=vec)
     print(f"sequential output: {seq.io.output()}")
     print(f"parallel output:   {par.output()}")
     ok = True
@@ -161,9 +170,13 @@ def cmd_profile(args) -> int:
         counters = " ".join(f"{k}={v}"
                             for k, v in result.report.metrics.items())
         print(f"counters: {counters}")
+    vec = _vectorize_flag(args)
+    print(f"backend: {'vectorized' if vec else 'scalar'} numpy "
+          f"({result.report.vector_loops} loops vectorized, "
+          f"{result.report.fallback_loops} scalar fallbacks)")
 
     print("\n== parallel run (observed) ==")
-    par = result.run_parallel(input_text=input_text)
+    par = result.run_parallel(input_text=input_text, vectorize=vec)
     rollup = par.rollup()
     print(rollup.table())
     frames = par.timeline().frames()
@@ -219,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run sequential vs parallel and compare")
     common(p)
     p.add_argument("--input", "-i", help="list-directed input deck file")
+    p.add_argument("--backend", choices=("vector", "scalar"),
+                   default="vector",
+                   help="numpy executor: whole-array slices for provably-"
+                        "parallel loops (vector, default) or the scalar "
+                        "reference translation")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome-trace/Perfetto JSON of the run")
     p.set_defaults(fn=cmd_run)
@@ -240,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
              "runtime breakdown, simulated comparison, Perfetto export")
     common(p)
     p.add_argument("--input", "-i", help="list-directed input deck file")
+    p.add_argument("--backend", choices=("vector", "scalar"),
+                   default="vector",
+                   help="numpy executor for the parallel run (see 'run')")
     p.add_argument("--frames", type=int, default=200,
                    help="frame iterations for the simulated comparison")
     p.add_argument("--trace-out", metavar="FILE",

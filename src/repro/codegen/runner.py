@@ -115,7 +115,8 @@ def _find_common_array(compiled: CompiledProgram, ctx, name: str):
 
 def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                  input_unit: int = 5, timeout: float = 120.0,
-                 spmd_cu: A.CompilationUnit | None = None) -> ParallelResult:
+                 spmd_cu: A.CompilationUnit | None = None,
+                 vectorize: bool | None = None) -> ParallelResult:
     """Restructure (unless given), compile, and run the SPMD program.
 
     Args:
@@ -125,10 +126,14 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
         input_unit: Fortran unit for the input data.
         timeout: per-receive watchdog (seconds).
         spmd_cu: a pre-restructured program (to avoid re-generating).
+        vectorize: numpy slice translation for provably-parallel nests
+            (``None`` follows ``pyback.DEFAULT_VECTORIZE``); halo regions
+            stay outside the slices because the restructured loop bounds
+            already exclude them.
     """
     if spmd_cu is None:
         spmd_cu = restructure(plan)
-    compiled = compile_unit(spmd_cu)
+    compiled = compile_unit(spmd_cu, vectorize=vectorize)
     nprocs = plan.partition.size
     ctxs: list = [None] * nprocs
 

@@ -42,10 +42,12 @@ class CompileResult:
     report: CompilationReport
 
     def run_parallel(self, *, input_text: str | None = None,
-                     timeout: float = 120.0) -> ParallelResult:
+                     timeout: float = 120.0,
+                     vectorize: bool | None = None) -> ParallelResult:
         """Execute the generated SPMD program on the in-process runtime."""
         return run_parallel(self.plan, input_text=input_text,
-                            timeout=timeout, spmd_cu=self.spmd_cu)
+                            timeout=timeout, spmd_cu=self.spmd_cu,
+                            vectorize=vectorize)
 
     def parallel_source(self) -> str:
         """The generated program as free-form Fortran source."""
@@ -160,6 +162,11 @@ class AutoCFD:
                               eliminate_redundant=eliminate_redundant)
             with obs.span("codegen-restructure", cat="compile"):
                 spmd = restructure(plan)
+            with obs.span("vectorize-survey", cat="compile") as vsp:
+                from repro.interp.vectorize import survey
+                vec_loops, fb_loops, _ = survey(spmd)
+                vsp.args["vectorized"] = vec_loops
+                vsp.args["fallback"] = fb_loops
         report = CompilationReport(
             program=self.cu.main.name,
             partition=part.dims,
@@ -170,6 +177,8 @@ class AutoCFD:
             combined_points=len(plan.syncs),
             pipes=len(plan.pipes),
             arrays=sorted(plan.arrays),
+            vector_loops=vec_loops,
+            fallback_loops=fb_loops,
             phases=[s for s in self.obs.spans() if s.cat == "compile"],
             metrics=self.obs.metrics.snapshot())
         return CompileResult(plan=plan, spmd_cu=spmd, report=report)
@@ -177,10 +186,11 @@ class AutoCFD:
     # -- execution -------------------------------------------------------------------
 
     def run_sequential(self, *, input_text: str | None = None,
-                       input_unit: int = 5) -> RunResult:
+                       input_unit: int = 5,
+                       vectorize: bool | None = None) -> RunResult:
         """Run the original sequential program (fast Python backend)."""
         io = IoManager()
         if input_text is not None:
             io.provide_input(input_unit, input_text)
         with activate(self.obs):
-            return run_compiled(self.cu, io=io)
+            return run_compiled(self.cu, io=io, vectorize=vectorize)

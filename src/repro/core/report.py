@@ -27,6 +27,10 @@ class CompilationReport:
     pipes: int
     combined_points: int
     arrays: list[str] = field(default_factory=list)
+    #: DO nests of the generated SPMD program the numpy backend executes
+    #: as whole-array slice statements / keeps in scalar order
+    vector_loops: int = 0
+    fallback_loops: int = 0
     #: timed pre-compiler phases (``cat == "compile"`` spans, in order)
     phases: list[Span] = field(default_factory=list)
     #: phase-counter snapshot (loops scanned, syncs before/after, ...)
@@ -44,12 +48,14 @@ class CompilationReport:
         part = "x".join(str(p) for p in self.partition)
         return (f"{self.program:<28s} {part:>9s} "
                 f"{self.syncs_before:>6d} {self.syncs_after:>6d} "
-                f"{self.reduction_percent:>7.1f}")
+                f"{self.reduction_percent:>7.1f} "
+                f"{self.vector_loops:>5d} {self.fallback_loops:>6d}")
 
     @staticmethod
     def header() -> str:
         return (f"{'program':<28s} {'partition':>9s} "
-                f"{'before':>6s} {'after':>6s} {'%opt':>7s}")
+                f"{'before':>6s} {'after':>6s} {'%opt':>7s} "
+                f"{'vec':>5s} {'scalar':>6s}")
 
     def phase_table(self) -> str:
         """Per-phase compiler timing table (empty string if unprofiled)."""
@@ -77,6 +83,8 @@ class CompilationReport:
             "pipes": self.pipes,
             "combined_points": self.combined_points,
             "arrays": list(self.arrays),
+            "vector_loops": self.vector_loops,
+            "fallback_loops": self.fallback_loops,
             "phases": [{"name": s.name, "dur_s": s.dur, "args": s.args}
                        for s in self.phases],
             "metrics": self.metrics,

@@ -39,6 +39,11 @@ from repro.fortran.symbols import SymbolTable, resolve_compilation_unit
 from repro.interp.intrinsics import INTRINSIC_IMPLS
 from repro.interp.io_runtime import IoManager
 from repro.interp.values import DTYPES, OffsetArray, fortran_div
+from repro.interp import vectorize as _vec
+
+#: process-wide default for the vectorizing translation mode; compile
+#: calls may override it per program via ``compile_unit(vectorize=...)``
+DEFAULT_VECTORIZE = True
 
 
 class _Goto(Exception):
@@ -82,11 +87,15 @@ class _UnitCompiler:
     """Compiles one program unit into Python source."""
 
     def __init__(self, unit: A.ProgramUnit, all_units: dict[str, A.ProgramUnit],
-                 special_calls: dict[str, str]) -> None:
+                 special_calls: dict[str, str], vectorize: bool = False,
+                 stats: dict | None = None) -> None:
         self.unit = unit
         self.table: SymbolTable = unit.symbols  # type: ignore[assignment]
         self.all_units = all_units
         self.special = special_calls
+        self.vectorize = vectorize
+        self.stats = stats if stats is not None else {
+            "vectorized": 0, "fallback": 0, "reasons": []}
         self.lines: list[str] = []
         self.depth = 1
         self.tmp = 0
@@ -397,6 +406,8 @@ class _UnitCompiler:
             raise CodegenError(f"bad assignment target (line {s.line})")
 
     def do_loop(self, s: A.DoLoop) -> None:
+        if self.vectorize and _vec.try_emit_nest(self, s):
+            return
         var = f"f_{s.var}"
         start = self.expr(s.start)
         stop = self.expr(s.stop)
@@ -657,6 +668,8 @@ class CompiledProgram:
     cu: A.CompilationUnit
     source: str
     namespace: dict
+    #: {"vectorized": n, "fallback": n, "reasons": [(unit, line, why)]}
+    vector_stats: dict = field(default_factory=dict)
 
     def function(self, name: str):
         return self.namespace[f"u_{name}"]
@@ -743,13 +756,17 @@ class RunResult:
 
 
 def compile_unit(cu: A.CompilationUnit,
-                 special_calls: dict[str, str] | None = None) -> CompiledProgram:
+                 special_calls: dict[str, str] | None = None, *,
+                 vectorize: bool | None = None) -> CompiledProgram:
     """Translate a compilation unit to Python and return the compiled form.
 
     Args:
         cu: resolved compilation unit.
         special_calls: extra callee-name -> Python-callable-text mappings
             (used by the SPMD backend to bind ``acfd_*`` runtime calls).
+        vectorize: emit numpy slice statements for provably-parallel DO
+            nests (:mod:`repro.interp.vectorize`); ``None`` follows the
+            module default ``DEFAULT_VECTORIZE``.
     """
     from repro.obs import spans as obs
     for unit in cu.units:
@@ -757,14 +774,24 @@ def compile_unit(cu: A.CompilationUnit,
             resolve_compilation_unit(cu)
             break
     special = dict(special_calls or {})
+    vec = DEFAULT_VECTORIZE if vectorize is None else vectorize
+    stats: dict = {"vectorized": 0, "fallback": 0, "reasons": []}
     units = {u.name: u for u in cu.units}
     with obs.span("pyback-compile", cat="compile") as sp:
         pieces = []
         for unit in cu.units:
-            pieces.append(_UnitCompiler(unit, units, special).compile())
+            pieces.append(_UnitCompiler(unit, units, special,
+                                        vectorize=vec,
+                                        stats=stats).compile())
         source = "\n\n".join(pieces)
         sp.args["units"] = len(cu.units)
         sp.args["source_lines"] = source.count("\n") + 1
+        if vec:
+            sp.args["vectorized_loops"] = stats["vectorized"]
+            sp.args["fallback_loops"] = stats["fallback"]
+    if vec:
+        obs.counter("pyback.loops.vectorized").inc(stats["vectorized"])
+        obs.counter("pyback.loops.fallback").inc(stats["fallback"])
     namespace: dict = {
         "OffsetArray": OffsetArray,
         "_np": np,
@@ -781,18 +808,24 @@ def compile_unit(cu: A.CompilationUnit,
     }
     for name, impl in INTRINSIC_IMPLS.items():
         namespace[f"_in_{name}"] = impl
+    namespace["_vsl"] = _vec._vsl
+    namespace["_vidiv"] = _vec._vidiv
+    for name, impl in _vec.VECTOR_INTRINSIC_IMPLS.items():
+        namespace[f"_vin_{name}"] = impl
     try:
         code = compile(source, f"<pyback:{cu.filename}>", "exec")
     except SyntaxError as exc:  # pragma: no cover - codegen bug guard
         raise CodegenError(f"generated Python does not compile: {exc}\n"
                            f"{source}") from exc
     exec(code, namespace)
-    return CompiledProgram(cu=cu, source=source, namespace=namespace)
+    return CompiledProgram(cu=cu, source=source, namespace=namespace,
+                           vector_stats=stats)
 
 
-def run_compiled(cu: A.CompilationUnit, io: IoManager | None = None) -> RunResult:
+def run_compiled(cu: A.CompilationUnit, io: IoManager | None = None, *,
+                 vectorize: bool | None = None) -> RunResult:
     """Compile and run a program in one call."""
     from repro.obs import spans as obs
-    prog = compile_unit(cu)
+    prog = compile_unit(cu, vectorize=vectorize)
     with obs.span("execute-sequential", cat="execute"):
         return prog.run(io=io)

@@ -18,12 +18,25 @@ Semantics follow MPI closely enough for generated SPMD programs:
   rank is blocked on; when every live rank is blocked with no deliverable
   message in flight it fails the world immediately with the wait-for
   cycle in the error, instead of letting the wall-clock watchdog expire;
-* collectives are built from point-to-point fan-in/fan-out on a reserved
-  tag space (user tags must stay below ``2**20``); every rank must call
-  them in the same order (as in MPI).  The up (fan-in) and down
-  (fan-out) phases of ``allreduce`` use *disjoint* tags — ``2*seq`` and
-  ``2*seq + 1`` above the base — so the tag space never self-collides no
-  matter how many collectives a program issues.
+* collectives are built from point-to-point messages on a reserved tag
+  space (user tags must stay below ``2**20``); every rank must call them
+  in the same order (as in MPI).  ``bcast``, ``reduce``, and both phases
+  of ``allreduce``/``allgather`` run on a *binomial tree* (log₂ P
+  rounds, as in MPICH), not a linear root fan-out/fan-in.  The up
+  (fan-in) and down (fan-out) phases of two-phase collectives use
+  *disjoint* tags — ``2*seq`` and ``2*seq + 1`` above the base — so the
+  tag space never self-collides no matter how many collectives a program
+  issues.
+
+Byte accounting: each rank records exactly one trace event per
+collective whose ``nbytes`` is the payload bytes *that rank* put on or
+took off the wire during the collective (sent + received).  Summing the
+events of one collective over all ranks therefore counts every hop of
+the tree exactly twice (once at the sender, once at the receiver), and a
+non-participating byte total is never attributed to a rank that only
+contributed its input by reference (the old accounting charged every
+rank ``bytes(value)`` regardless of what actually moved — receivers of a
+``bcast`` recorded 0, reduce leaves recorded bytes they never received).
 """
 
 from __future__ import annotations
@@ -548,96 +561,126 @@ class Communicator:
 
     def bcast(self, obj=None, root: int = 0):
         """Broadcast from *root*; all ranks return the object."""
+        tag, _ = self._next_collective_tags()
         t0 = time.monotonic()
-        result, waited = self._bcast_impl(obj, root)
-        self._record_op("bcast", root,
-                        _payload_bytes(obj) if obj is not None else 0,
-                        t0, waited)
+        result, waited, nbytes = self._bcast_impl(obj, root, tag)
+        self._record_op("bcast", root, nbytes, t0, waited)
         return result
 
-    def _bcast_impl(self, obj, root: int):
-        tag, _ = self._next_collective_tags()
-        if self.rank == root:
-            for dest in range(self.size):
-                if dest != root:
-                    payload = _copy_payload(obj)
-                    self._mailboxes[dest].put(_Message(self.rank, tag, payload))
-            return obj, 0.0
-        msg, waited = self._get(root, tag, "bcast")
-        return msg.payload, waited
+    def _bcast_impl(self, obj, root: int, tag: int):
+        """Binomial-tree broadcast on *tag*; (obj, waited, wire bytes).
+
+        MPICH's tree: rank ``r`` relative to the root receives from
+        ``r - 2**k`` where ``2**k`` is r's lowest set bit, then forwards
+        to ``r + 2**j`` for every ``j < k`` that stays inside the world.
+        """
+        size = self.size
+        relative = (self.rank - root) % size
+        waited = 0.0
+        nbytes = 0
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                src = (relative - mask + root) % size
+                msg, waited = self._get(src, tag, "bcast")
+                obj = msg.payload
+                nbytes += _payload_bytes(obj)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if relative + mask < size:
+                dest = (relative + mask + root) % size
+                nbytes += _payload_bytes(obj)
+                self._mailboxes[dest].put(
+                    _Message(self.rank, tag, _copy_payload(obj)))
+            mask >>= 1
+        return obj, waited, nbytes
 
     def reduce(self, value, op: str = "sum", root: int = 0):
         """Reduce to *root*; other ranks return None."""
         reducer = self._op(op)
         tag, _ = self._next_collective_tags()
         t0 = time.monotonic()
+        acc, waited, nbytes = self._reduce_impl(value, reducer, root, tag,
+                                                "reduce")
+        self._record_op("reduce", root, nbytes, t0, waited)
+        return acc
+
+    def _reduce_impl(self, value, reducer, root: int, tag: int, op: str):
+        """Binomial-tree reduce on *tag*; (acc | None, waited, wire bytes).
+
+        Mirror image of the broadcast tree: relative rank ``r`` folds in
+        the partial results of children ``r + 2**k`` (for increasing k
+        while bit k is clear), then ships its accumulator to parent
+        ``r - 2**k``.  The accumulator is handed over uncopied — it is
+        this rank's private copy and is never touched after the send.
+        """
+        size = self.size
+        relative = (self.rank - root) % size
+        acc = _copy_payload(value)
         waited = 0.0
-        if self.rank == root:
-            acc = _copy_payload(value)
-            for _ in range(self.size - 1):
-                msg, w = self._get(None, tag, "reduce")
+        nbytes = 0
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = (relative - mask + root) % size
+                nbytes += _payload_bytes(acc)
+                self._mailboxes[parent].put(_Message(self.rank, tag, acc))
+                return None, waited, nbytes
+            child = relative + mask
+            if child < size:
+                msg, w = self._get((child + root) % size, tag, op)
                 waited += w
+                nbytes += _payload_bytes(msg.payload)
                 acc = reducer(acc, msg.payload)
-            self._record_op("reduce", root, _payload_bytes(value), t0, waited)
-            return acc
-        self._mailboxes[root].put(
-            _Message(self.rank, tag, _copy_payload(value)))
-        self._record_op("reduce", root, _payload_bytes(value), t0, waited)
-        return None
+            mask <<= 1
+        return acc, waited, nbytes
 
     def allreduce(self, value, op: str = "sum"):
         """Reduce + broadcast; all ranks return the reduced value."""
         reducer = self._op(op)
         up_tag, down_tag = self._next_collective_tags()
         t0 = time.monotonic()
-        waited = 0.0
-        root = 0
-        if self.rank == root:
-            acc = _copy_payload(value)
-            for _ in range(self.size - 1):
-                msg, w = self._get(None, up_tag, "allreduce")
-                waited += w
-                acc = reducer(acc, msg.payload)
-            for dest in range(1, self.size):
-                self._mailboxes[dest].put(
-                    _Message(root, down_tag, _copy_payload(acc)))
-            result = acc
-        else:
-            self._mailboxes[root].put(
-                _Message(self.rank, up_tag, _copy_payload(value)))
-            msg, waited = self._get(root, down_tag, "allreduce")
-            result = msg.payload
-        self._record_op("allreduce", None, _payload_bytes(value), t0, waited)
+        acc, waited_up, up_bytes = self._reduce_impl(value, reducer, 0,
+                                                     up_tag, "allreduce")
+        result, waited_down, down_bytes = self._bcast_impl(acc, 0, down_tag)
+        self._record_op("allreduce", None, up_bytes + down_bytes, t0,
+                        waited_up + waited_down)
         return result
 
     def gather(self, value, root: int = 0):
         """Gather to *root* (list indexed by rank); others return None."""
+        tag, _ = self._next_collective_tags()
         t0 = time.monotonic()
-        result, waited = self._gather_impl(value, root)
-        self._record_op("gather", root, _payload_bytes(value), t0, waited)
+        result, waited, nbytes = self._gather_impl(value, root, tag)
+        self._record_op("gather", root, nbytes, t0, waited)
         return result
 
-    def _gather_impl(self, value, root: int):
-        tag, _ = self._next_collective_tags()
+    def _gather_impl(self, value, root: int, tag: int):
         if self.rank == root:
             out: list = [None] * self.size
             out[root] = _copy_payload(value)
             waited = 0.0
+            nbytes = 0
             for _ in range(self.size - 1):
                 msg, w = self._get(None, tag, "gather")
                 waited += w
+                nbytes += _payload_bytes(msg.payload)
                 out[msg.source] = msg.payload
-            return out, waited
+            return out, waited, nbytes
         self._mailboxes[root].put(
             _Message(self.rank, tag, _copy_payload(value)))
-        return None, 0.0
+        return None, 0.0, _payload_bytes(value)
 
     def allgather(self, value) -> list:
         """Gather + broadcast — one synchronization, one trace event."""
+        up_tag, down_tag = self._next_collective_tags()
         t0 = time.monotonic()
-        gathered, waited_up = self._gather_impl(value, 0)
-        result, waited_down = self._bcast_impl(gathered, 0)
-        self._record_op("allgather", None, _payload_bytes(value), t0,
+        gathered, waited_up, up_bytes = self._gather_impl(value, 0, up_tag)
+        result, waited_down, down_bytes = self._bcast_impl(gathered, 0,
+                                                           down_tag)
+        self._record_op("allgather", None, up_bytes + down_bytes, t0,
                         waited_up + waited_down)
         return result
 
@@ -649,14 +692,17 @@ class Communicator:
             if values is None or len(values) != self.size:
                 raise RuntimeCommError(
                     "scatter root needs one value per rank")
+            nbytes = 0
             for dest in range(self.size):
                 if dest != root:
+                    nbytes += _payload_bytes(values[dest])
                     self._mailboxes[dest].put(
                         _Message(root, tag, _copy_payload(values[dest])))
-            self._record_op("scatter", root, 0, t0, 0.0)
+            self._record_op("scatter", root, nbytes, t0, 0.0)
             return values[root]
         msg, waited = self._get(root, tag, "scatter")
-        self._record_op("scatter", root, 0, t0, waited)
+        self._record_op("scatter", root, _payload_bytes(msg.payload),
+                        t0, waited)
         return msg.payload
 
     # -- misc -------------------------------------------------------------------------

@@ -170,6 +170,10 @@ class Trace:
             "wait_s": sum(e.wait_s for e in events),
             "syncs": sum(syncs_by_kind.values()),
             "syncs_by_kind": syncs_by_kind,
+            # per-rank sent+received bytes summed over collective events;
+            # every tree hop is counted once at each endpoint
+            "collective_bytes": sum(e.nbytes for e in events
+                                    if e.kind in SYNC_KINDS),
         }
 
     def timeline(self):

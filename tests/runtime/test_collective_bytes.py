@@ -1,0 +1,140 @@
+"""Bytes-on-the-wire accounting for collectives, hand-checked at P = 3.
+
+Convention under test: every rank records exactly one trace event per
+collective, and its ``nbytes`` equals the payload bytes *that rank* put
+on or took off the wire during the collective (sent + received).  The
+pre-fix runtime violated this everywhere that mattered — bcast receivers
+recorded 0, reduce leaves recorded bytes they never received, scatter
+recorded 0 on every rank — so these are seed-failing regressions.
+
+With the binomial tree at P = 3 and root 0, both bcast and reduce put
+two messages on the wire, each touching the root: the root's event
+counts both payloads, each leaf counts its own.
+"""
+
+import numpy as np
+
+from repro.runtime.world import spmd_run
+
+
+def _bytes_by_rank(trace, kind: str) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for e in trace.snapshot():
+        if e.kind == kind:
+            out[e.rank] = out.get(e.rank, 0) + e.nbytes
+    return out
+
+
+def _events_per_rank(trace, kind: str) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for e in trace.snapshot():
+        if e.kind == kind:
+            out[e.rank] = out.get(e.rank, 0) + 1
+    return out
+
+
+class TestBcastBytes:
+    def test_receivers_record_received_bytes(self):
+        # Seed bug: non-root ranks passed their local input (None) to the
+        # recorder and logged nbytes=0 for an 80-byte receive.
+        def body(comm):
+            payload = np.arange(10, dtype=np.float64) \
+                if comm.rank == 0 else None
+            return comm.bcast(payload, root=0)
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert all(r.tobytes() == np.arange(10.0).tobytes()
+                   for r in w.results)
+        # root relays to both leaves (2 x 80 out); each leaf takes 80 in
+        assert _bytes_by_rank(w.trace, "bcast") == {0: 160, 1: 80, 2: 80}
+        assert _events_per_rank(w.trace, "bcast") == {0: 1, 1: 1, 2: 1}
+
+    def test_nonzero_root(self):
+        def body(comm):
+            return comm.bcast(3.5 if comm.rank == 1 else None, root=1)
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert all(r == 3.5 for r in w.results)
+        assert _bytes_by_rank(w.trace, "bcast") == {1: 16, 2: 8, 0: 8}
+
+    def test_tree_totals_count_each_hop_twice(self):
+        # P-1 messages of 8 bytes; each hop counted at both endpoints.
+        for size in (2, 3, 4, 5, 8):
+            def body(comm):
+                return comm.bcast(1.0 if comm.rank == 0 else None)
+
+            w = spmd_run(size, body, timeout=10.0)
+            per_rank = _bytes_by_rank(w.trace, "bcast")
+            assert sum(per_rank.values()) == 2 * (size - 1) * 8
+            # binomial fan-out: the root sends one message per round
+            rounds = len([m for m in (1, 2, 4, 8, 16) if m < size])
+            assert per_rank[0] == 8 * rounds
+
+
+class TestReduceBytes:
+    def test_leaves_record_sent_root_records_received(self):
+        # Seed bug: every rank recorded _payload_bytes(value) — the root
+        # logged 8 for the 16 bytes it actually received.
+        def body(comm):
+            return comm.reduce(float(comm.rank + 1), "sum", root=0)
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert w.results[0] == 6.0
+        assert w.results[1] is None and w.results[2] is None
+        assert _bytes_by_rank(w.trace, "reduce") == {0: 16, 1: 8, 2: 8}
+
+    def test_allreduce_counts_both_phases(self):
+        def body(comm):
+            return comm.allreduce(1.0, "sum")
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert all(r == 3.0 for r in w.results)
+        # up phase {0:16, 1:8, 2:8} + down phase {0:16, 1:8, 2:8}
+        assert _bytes_by_rank(w.trace, "allreduce") == {0: 32, 1: 16, 2: 16}
+        assert _events_per_rank(w.trace, "allreduce") == {0: 1, 1: 1, 2: 1}
+
+
+class TestGatherScatterBytes:
+    def test_gather_unequal_payloads(self):
+        def body(comm):
+            return comm.gather(np.ones(comm.rank + 1), root=0)
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert [len(a) for a in w.results[0]] == [1, 2, 3]
+        # root receives 16 + 24; each sender counts its own payload
+        assert _bytes_by_rank(w.trace, "gather") == {0: 40, 1: 16, 2: 24}
+
+    def test_scatter_unequal_payloads(self):
+        # Seed bug: scatter recorded nbytes=0 on every rank.
+        def body(comm):
+            values = None
+            if comm.rank == 0:
+                values = [np.zeros(1), np.zeros(2), np.zeros(3)]
+            return comm.scatter(values, root=0)
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert [len(r) for r in w.results] == [1, 2, 3]
+        assert _bytes_by_rank(w.trace, "scatter") == {0: 40, 1: 16, 2: 24}
+
+    def test_allgather_counts_both_phases(self):
+        def body(comm):
+            return comm.allgather(float(comm.rank))
+
+        w = spmd_run(3, body, timeout=10.0)
+        assert all(r == [0.0, 1.0, 2.0] for r in w.results)
+        # gather up {0:16, 1:8, 2:8}; then the 24-byte list is broadcast
+        # down the tree {0:48, 1:24, 2:24}
+        assert _bytes_by_rank(w.trace, "allgather") == {0: 64, 1: 32, 2: 32}
+
+
+class TestCommStats:
+    def test_collective_bytes_aggregate(self):
+        def body(comm):
+            comm.bcast(1.0 if comm.rank == 0 else None)
+            return None
+
+        w = spmd_run(3, body, timeout=10.0)
+        stats = w.trace.comm_stats()
+        assert stats["collective_bytes"] == 32
+        # collectives put messages directly: no point-to-point sends
+        assert stats["sends"] == 0 and stats["bytes_sent"] == 0
