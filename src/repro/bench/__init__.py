@@ -1,0 +1,52 @@
+"""Continuous benchmarking: registry, runner, comparator, drift check.
+
+``acfd bench`` runs named scenarios over the repo's hot paths (see
+:mod:`repro.bench.scenarios`), records min/median/MAD per scenario plus
+the run's metrics snapshot and environment fingerprint into a
+``BENCH_<git-sha>.json`` at the repo root, gates regressions against a
+baseline record with noise-aware thresholds, and reports the
+per-category drift between ClusterSim predictions and observed
+:class:`~repro.obs.Timeline` roll-ups.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_MAD_K,
+    DEFAULT_THRESHOLD,
+    Delta,
+    compare_records,
+    delta_table,
+    env_mismatches,
+    find_latest,
+    regressions,
+    resolve_baseline,
+)
+from repro.bench.drift import CATEGORIES, DriftReport, run_drift
+from repro.bench.envinfo import fingerprint, repo_root
+from repro.bench.registry import (
+    DEFAULT,
+    Scenario,
+    ScenarioRegistry,
+    load_builtin,
+    scenario,
+)
+from repro.bench.runner import (
+    SCHEMA,
+    default_output_path,
+    load_record,
+    run_scenario,
+    run_suite,
+    validate_record,
+    write_record,
+)
+from repro.bench.stats import mad, median, quantile, summarize
+
+__all__ = [
+    "CATEGORIES", "DEFAULT", "DEFAULT_MAD_K", "DEFAULT_THRESHOLD",
+    "Delta", "DriftReport", "SCHEMA", "Scenario", "ScenarioRegistry",
+    "compare_records", "default_output_path", "delta_table",
+    "env_mismatches", "find_latest", "fingerprint", "load_builtin",
+    "load_record", "mad", "median", "quantile", "regressions",
+    "repo_root", "resolve_baseline", "run_drift", "run_scenario",
+    "run_suite", "scenario", "summarize", "validate_record",
+    "write_record",
+]

@@ -1,0 +1,132 @@
+"""Noise-aware comparison of two bench records (the regression gate).
+
+Scenario *S* regressed from *old* to *new* iff::
+
+    new.min - old.min > max(rel_threshold * old.min,
+                            mad_k * (old.mad + new.mad))
+
+i.e. the slowdown must clear both a relative floor (small absolute
+jitter on microsecond scenarios never trips the gate) and a
+noise-scaled floor (a scenario whose own samples scatter widely needs a
+proportionally bigger jump to count).  Improvements are flagged
+symmetrically but never gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from repro.bench.envinfo import repo_root
+from repro.bench.runner import load_record
+from repro.errors import BenchError
+
+#: default relative slowdown floor (25 %)
+DEFAULT_THRESHOLD = 0.25
+#: default MAD multiplier
+DEFAULT_MAD_K = 3.0
+
+#: fingerprint keys that make timings comparable at all
+_COMPARABLE_KEYS = ("hostname", "python", "numpy", "cpu_count")
+
+
+@dataclass
+class Delta:
+    """One scenario's old-vs-new verdict."""
+
+    name: str
+    status: str  # ok | regression | improved | new | missing
+    old_min: float | None = None
+    new_min: float | None = None
+    tolerance: float = 0.0
+
+    @property
+    def rel(self) -> float | None:
+        """Relative change (+0.5 = 50 % slower)."""
+        if self.old_min is None or self.new_min is None \
+                or self.old_min <= 0:
+            return None
+        return (self.new_min - self.old_min) / self.old_min
+
+
+def compare_records(old: dict, new: dict,
+                    rel_threshold: float = DEFAULT_THRESHOLD,
+                    mad_k: float = DEFAULT_MAD_K) -> list[Delta]:
+    """Per-scenario deltas, sorted worst-first."""
+    if rel_threshold < 0 or mad_k < 0:
+        raise BenchError("thresholds must be non-negative")
+    olds, news = old["scenarios"], new["scenarios"]
+    deltas: list[Delta] = []
+    for name in sorted(set(olds) | set(news)):
+        if name not in olds:
+            deltas.append(Delta(name, "new",
+                                new_min=news[name]["min_s"]))
+            continue
+        if name not in news:
+            deltas.append(Delta(name, "missing",
+                                old_min=olds[name]["min_s"]))
+            continue
+        o, n = olds[name], news[name]
+        tol = max(rel_threshold * o["min_s"],
+                  mad_k * (o["mad_s"] + n["mad_s"]))
+        diff = n["min_s"] - o["min_s"]
+        if diff > tol:
+            status = "regression"
+        elif -diff > tol:
+            status = "improved"
+        else:
+            status = "ok"
+        deltas.append(Delta(name, status, old_min=o["min_s"],
+                            new_min=n["min_s"], tolerance=tol))
+    order = {"regression": 0, "missing": 1, "new": 2, "improved": 3,
+             "ok": 4}
+    deltas.sort(key=lambda d: (order[d.status], d.name))
+    return deltas
+
+
+def regressions(deltas: list[Delta]) -> list[Delta]:
+    return [d for d in deltas if d.status == "regression"]
+
+
+def env_mismatches(old: dict, new: dict) -> list[str]:
+    """Fingerprint keys on which the two records disagree."""
+    o, n = old.get("env", {}), new.get("env", {})
+    return [k for k in _COMPARABLE_KEYS if o.get(k) != n.get(k)]
+
+
+def delta_table(deltas: list[Delta]) -> str:
+    """Human-readable delta table."""
+    lines = [f"{'scenario':<28s} {'old min':>10s} {'new min':>10s} "
+             f"{'delta':>8s}  verdict"]
+
+    def ms(v):
+        return f"{v * 1e3:7.2f} ms" if v is not None else f"{'-':>10s}"
+
+    for d in deltas:
+        rel = d.rel
+        rel_s = f"{100 * rel:+7.1f}%" if rel is not None else f"{'-':>8s}"
+        lines.append(f"{d.name:<28s} {ms(d.old_min)} {ms(d.new_min)} "
+                     f"{rel_s}  {d.status}")
+    n_reg = len(regressions(deltas))
+    lines.append(f"{n_reg} regression(s) "
+                 f"in {len(deltas)} compared scenario(s)")
+    return "\n".join(lines)
+
+
+def find_latest(root: pathlib.Path | None = None,
+                exclude: pathlib.Path | None = None) -> pathlib.Path:
+    """Newest ``BENCH_*.json`` at the repo root (for ``--against latest``)."""
+    base = root if root is not None else repo_root()
+    candidates = [p for p in base.glob("BENCH_*.json")
+                  if exclude is None or p.resolve() != exclude.resolve()]
+    if not candidates:
+        raise BenchError(f"no BENCH_*.json found under {base}")
+    return max(candidates, key=lambda p: p.stat().st_mtime)
+
+
+def resolve_baseline(spec: str, root: pathlib.Path | None = None,
+                     exclude: pathlib.Path | None = None) -> dict:
+    """Load the record named by ``--against`` (a path or ``latest``)."""
+    if spec == "latest":
+        return load_record(find_latest(root=root, exclude=exclude))
+    return load_record(spec)

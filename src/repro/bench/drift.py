@@ -1,0 +1,144 @@
+"""Model-vs-measured drift: ClusterSim predictions against real runs.
+
+The paper validates its cluster model by comparing predicted and
+measured time breakdowns; this module replays that discipline inside
+the repository.  One compiled plan is executed twice — once on the real
+in-process runtime (observed), once on the discrete-event simulator
+with timeline recording (predicted) — and both executions are rolled
+up into per-category **shares** of total wall-clock: compute, halo,
+collective, blocked.  Shares, not absolute seconds, because the
+simulator models a *calibrated cluster* while the runtime executes on
+whatever host runs the command; the shape of the breakdown is the
+reproduction-fidelity signal, the absolute scale is the calibration's
+business.
+
+Category mapping: the runtime's ``send`` time (buffered send issue)
+folds into ``halo`` — the simulator charges all neighbor-exchange cost
+to the exchange itself and has no separate send account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.sprayer import sprayer_source
+from repro.core import AutoCFD
+from repro.simulate import ClusterSim, MachineModel, NetworkModel, NodeModel
+
+CATEGORIES = ("compute", "halo", "collective", "blocked")
+
+#: input deck for the sprayer workload (fan speed, fan position)
+_SPRAYER_DECK = "2.5 30"
+
+#: host-like calibration for drift runs: the in-process runtime has
+#: microsecond hand-off latency and memory-bandwidth "links", nothing
+#: like the PVM-era Ethernet the default models describe
+HOST_MACHINE = MachineModel(NodeModel(flop_time=2.0e-9))
+HOST_NETWORK = NetworkModel(latency=2.0e-5, bandwidth=2.0e9,
+                            shared_medium=False)
+
+
+@dataclass
+class DriftReport:
+    """Predicted-vs-observed breakdown shares for one plan."""
+
+    partition: tuple[int, ...]
+    frames: int
+    observed_s: float
+    predicted_s: float
+    #: category -> {"observed_pct", "predicted_pct", "drift_pp"}
+    categories: dict
+
+    @property
+    def max_drift_pp(self) -> float:
+        """Largest absolute per-category drift (percentage points)."""
+        return max(abs(c["drift_pp"]) for c in self.categories.values())
+
+    def as_dict(self) -> dict:
+        return {"partition": "x".join(map(str, self.partition)),
+                "frames": self.frames,
+                "observed_s": self.observed_s,
+                "predicted_s": self.predicted_s,
+                "max_drift_pp": self.max_drift_pp,
+                "categories": self.categories}
+
+    def table(self) -> str:
+        lines = [f"{'category':<12s} {'predicted':>10s} {'observed':>10s} "
+                 f"{'drift':>9s}"]
+        for cat in CATEGORIES:
+            c = self.categories[cat]
+            lines.append(f"{cat:<12s} {c['predicted_pct']:>9.1f}% "
+                         f"{c['observed_pct']:>9.1f}% "
+                         f"{c['drift_pp']:>+8.1f}pp")
+        lines.append(
+            f"max drift {self.max_drift_pp:.1f}pp "
+            f"(observed {self.observed_s * 1e3:.1f} ms on this host, "
+            f"predicted {self.predicted_s * 1e3:.1f} ms on the model)")
+        return "\n".join(lines)
+
+
+def _shares(per_cat: dict[str, float]) -> dict[str, float]:
+    total = sum(per_cat.values())
+    if total <= 0:
+        return {cat: 0.0 for cat in CATEGORIES}
+    return {cat: 100.0 * per_cat[cat] / total for cat in CATEGORIES}
+
+
+def _observed_breakdown(rollup) -> dict[str, float]:
+    """Per-category seconds summed over ranks (send folded into halo)."""
+    out = {cat: 0.0 for cat in CATEGORIES}
+    for r in rollup.ranks:
+        out["compute"] += r.compute
+        out["halo"] += r.halo + r.send
+        out["collective"] += r.collective
+        out["blocked"] += r.blocked
+    return out
+
+
+def _predicted_breakdown(spans) -> dict[str, float]:
+    """Per-category seconds from the simulator's recorded spans."""
+    out = {cat: 0.0 for cat in CATEGORIES}
+    for s in spans:
+        if s.cat in out:
+            out[s.cat] += s.dur
+    return out
+
+
+def run_drift(n: int = 60, m: int = 24, iters: int = 8,
+              partition: tuple[int, ...] = (2, 1),
+              machine: MachineModel | None = None,
+              network: NetworkModel | None = None) -> DriftReport:
+    """Compile a small sprayer grid, run it for real and on the model.
+
+    The grid is deliberately small: drift is a *shape* comparison, and
+    a sub-second real run keeps ``acfd bench --drift`` interactive.
+    """
+    acfd = AutoCFD.from_source(sprayer_source(n=n, m=m, iters=iters))
+    result = acfd.compile(partition=partition)
+
+    par = result.run_parallel(input_text=_SPRAYER_DECK)
+    observed_roll = par.rollup()
+    observed = _observed_breakdown(observed_roll)
+    observed_total = max((r.total for r in observed_roll.ranks),
+                         default=0.0)
+
+    sim = ClusterSim(result.plan,
+                     machine=machine if machine is not None
+                     else HOST_MACHINE,
+                     network=network if network is not None
+                     else HOST_NETWORK,
+                     chunks=1, record_timeline=True)
+    # keep every frame inside the simulated (span-recorded) window
+    out = sim.run(iters, warmup=max(iters, 2))
+    predicted = _predicted_breakdown(out.spans)
+
+    obs_pct = _shares(observed)
+    pred_pct = _shares(predicted)
+    categories = {cat: {"predicted_pct": pred_pct[cat],
+                        "observed_pct": obs_pct[cat],
+                        "drift_pp": obs_pct[cat] - pred_pct[cat]}
+                  for cat in CATEGORIES}
+    return DriftReport(partition=tuple(partition), frames=iters,
+                       observed_s=observed_total,
+                       predicted_s=out.total_time,
+                       categories=categories)

@@ -1,0 +1,70 @@
+"""Environment fingerprint stamped into every bench record.
+
+Timings are only comparable when the environment is: the comparator
+prints a warning whenever two records disagree on host or interpreter,
+and the fingerprint pins each ``BENCH_<sha>.json`` to the exact tree it
+measured (including a dirty-worktree marker, since a benchmark run
+usually precedes the commit that lands it).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+
+def repo_root(start: str | None = None) -> pathlib.Path:
+    """Nearest ancestor containing ``.git`` (fallback: the cwd)."""
+    here = pathlib.Path(start if start is not None else os.getcwd())
+    for candidate in (here, *here.parents):
+        if (candidate / ".git").exists():
+            return candidate
+    return here
+
+
+def _git(args: list[str], cwd: pathlib.Path) -> str | None:
+    try:
+        out = subprocess.run(["git", *args], cwd=cwd,
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def git_sha(cwd: pathlib.Path | None = None) -> str:
+    root = cwd if cwd is not None else repo_root()
+    return _git(["rev-parse", "HEAD"], root) or "unknown"
+
+
+def git_dirty(cwd: pathlib.Path | None = None) -> bool:
+    root = cwd if cwd is not None else repo_root()
+    status = _git(["status", "--porcelain"], root)
+    return bool(status)
+
+
+def fingerprint() -> dict:
+    """Everything needed to judge whether two records are comparable."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    root = repo_root()
+    return {
+        "git_sha": git_sha(root),
+        "git_dirty": git_dirty(root),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "hostname": platform.node(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                     time.gmtime()),
+    }

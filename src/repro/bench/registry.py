@@ -1,0 +1,128 @@
+"""Benchmark scenario registry.
+
+A *scenario* is a named, tagged callable that performs one measurable
+iteration of a hot path (parse a workload, exchange halos, replay a
+table experiment on the simulator, ...).  Scenarios register themselves
+with the :func:`scenario` decorator::
+
+    @scenario("runtime.halo_exchange", tags=("runtime", "quick"))
+    def halo_exchange():
+        ...                      # one timed iteration
+        return {"bytes": n}      # optional extra record fields
+
+The decorated function body is the timed region; expensive one-time
+setup belongs in a cached helper so repeats measure the hot path, not
+the fixture.  A scenario may return a dict of extra numbers that the
+runner records verbatim next to the timing statistics.
+
+The module-level :data:`DEFAULT` registry is what ``acfd bench`` runs;
+tests build private :class:`ScenarioRegistry` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import BenchError
+
+#: default measurement discipline (overridable per scenario and per run)
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    fn: Callable
+    tags: tuple[str, ...] = ()
+    repeats: int = DEFAULT_REPEATS
+    warmup: int = DEFAULT_WARMUP
+
+    @property
+    def group(self) -> str:
+        """The subsystem prefix (``runtime`` in ``runtime.ping_pong``)."""
+        return self.name.split(".", 1)[0]
+
+
+class ScenarioRegistry:
+    """Named scenarios with tag/name selection."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def scenario(self, name: str, tags: tuple[str, ...] | list[str] = (),
+                 repeats: int = DEFAULT_REPEATS,
+                 warmup: int = DEFAULT_WARMUP):
+        """Decorator registering the wrapped callable as *name*."""
+        if "." not in name:
+            raise BenchError(
+                f"scenario name {name!r} must be '<group>.<case>'")
+
+        def register(fn: Callable) -> Callable:
+            if name in self._scenarios:
+                raise BenchError(f"scenario {name!r} already registered")
+            self._scenarios[name] = Scenario(
+                name=name, fn=fn, tags=tuple(tags),
+                repeats=repeats, warmup=warmup)
+            return fn
+
+        return register
+
+    def add(self, sc: Scenario) -> None:
+        if sc.name in self._scenarios:
+            raise BenchError(f"scenario {sc.name!r} already registered")
+        self._scenarios[sc.name] = sc
+
+    def remove(self, name: str) -> None:
+        self._scenarios.pop(name, None)
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise BenchError(f"unknown scenario {name!r}") from None
+
+    def all(self) -> list[Scenario]:
+        return [self._scenarios[n] for n in sorted(self._scenarios)]
+
+    def select(self, tags: list[str] | None = None,
+               names: list[str] | None = None) -> list[Scenario]:
+        """Scenarios matching ANY given tag and/or ANY given name.
+
+        With neither filter, every registered scenario is selected.
+        A requested name that matches nothing is an error (a misspelled
+        ``--scenario`` must not silently run the empty suite).
+        """
+        picked = self.all()
+        if tags:
+            picked = [s for s in picked
+                      if any(t in s.tags for t in tags)]
+        if names:
+            unknown = [n for n in names if n not in self._scenarios]
+            if unknown:
+                raise BenchError(
+                    f"unknown scenario(s): {', '.join(sorted(unknown))}")
+            wanted = set(names)
+            picked = [s for s in picked if s.name in wanted]
+        return picked
+
+
+#: the registry ``acfd bench`` runs; populated by repro.bench.scenarios
+DEFAULT = ScenarioRegistry()
+
+
+def scenario(name: str, tags: tuple[str, ...] | list[str] = (),
+             repeats: int = DEFAULT_REPEATS,
+             warmup: int = DEFAULT_WARMUP):
+    """Register on the default registry (see :class:`ScenarioRegistry`)."""
+    return DEFAULT.scenario(name, tags=tags, repeats=repeats,
+                            warmup=warmup)
+
+
+def load_builtin() -> ScenarioRegistry:
+    """Import the built-in scenario definitions (idempotent)."""
+    import repro.bench.scenarios  # noqa: F401  (import-time registration)
+    return DEFAULT

@@ -1,0 +1,144 @@
+"""Benchmark runner: execute scenarios, emit ``BENCH_<sha>.json``.
+
+Each scenario runs ``warmup`` throwaway iterations and then ``repeats``
+timed ones under its own activated :class:`~repro.obs.Profiler`, so any
+``obs`` counters/histograms the measured code touches land in the
+record next to the timing statistics.  The record is a plain JSON dict:
+
+.. code-block:: json
+
+    {"schema": "acfd-bench/1",
+     "env": {"git_sha": "...", "python": "...", ...},
+     "scenarios": {
+        "runtime.ping_pong": {
+            "tags": ["quick", "runtime"],
+            "repeats": 5, "warmup": 1,
+            "samples_s": [...],
+            "min_s": 0.0123, "median_s": 0.0130, "mad_s": 0.0002,
+            "metrics": {"bench.sample_s": {"count": 5, ...}},
+            "extra": {"roundtrips": 300}}}}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.bench.envinfo import fingerprint, repo_root
+from repro.bench.registry import Scenario
+from repro.bench.stats import summarize
+from repro.errors import BenchError
+from repro.obs import Profiler, activate
+
+SCHEMA = "acfd-bench/1"
+
+#: env keys every valid record must carry
+_ENV_KEYS = ("git_sha", "python", "numpy", "cpu_count", "hostname",
+             "created_utc")
+#: statistics keys every scenario entry must carry
+_STAT_KEYS = ("n", "min_s", "max_s", "mean_s", "median_s", "mad_s")
+
+
+def run_scenario(sc: Scenario, repeats: int | None = None,
+                 warmup: int | None = None) -> dict:
+    """Execute one scenario; returns its record entry."""
+    n_repeat = max(1, sc.repeats if repeats is None else repeats)
+    n_warm = max(0, sc.warmup if warmup is None else warmup)
+    profiler = Profiler(f"bench:{sc.name}")
+    samples: list[float] = []
+    extra: dict = {}
+    with activate(profiler):
+        for _ in range(n_warm):
+            sc.fn()
+        hist = profiler.metrics.histogram("bench.sample_s")
+        for _ in range(n_repeat):
+            t0 = time.perf_counter()
+            out = sc.fn()
+            dt = time.perf_counter() - t0
+            samples.append(dt)
+            hist.observe(dt)
+            if isinstance(out, dict):
+                extra = out
+    entry = {"tags": sorted(sc.tags),
+             "repeats": n_repeat, "warmup": n_warm,
+             "samples_s": samples}
+    entry.update(summarize(samples))
+    entry["metrics"] = profiler.metrics.snapshot()
+    entry["extra"] = extra
+    return entry
+
+
+def run_suite(scenarios: list[Scenario], repeats: int | None = None,
+              warmup: int | None = None, progress=None) -> dict:
+    """Run scenarios in name order and assemble the full record."""
+    if not scenarios:
+        raise BenchError("no scenarios selected")
+    record: dict = {"schema": SCHEMA, "env": fingerprint(),
+                    "scenarios": {}}
+    for sc in sorted(scenarios, key=lambda s: s.name):
+        entry = run_scenario(sc, repeats=repeats, warmup=warmup)
+        record["scenarios"][sc.name] = entry
+        if progress is not None:
+            progress(f"{sc.name:<28s} min {entry['min_s'] * 1e3:8.2f} ms  "
+                     f"median {entry['median_s'] * 1e3:8.2f} ms  "
+                     f"(n={entry['n']})")
+    return record
+
+
+def validate_record(record: dict, origin: str = "record") -> dict:
+    """Schema-check a bench record; returns it for chaining."""
+    if not isinstance(record, dict):
+        raise BenchError(f"{origin}: not a JSON object")
+    if record.get("schema") != SCHEMA:
+        raise BenchError(f"{origin}: schema {record.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    env = record.get("env")
+    if not isinstance(env, dict):
+        raise BenchError(f"{origin}: missing env fingerprint")
+    for key in _ENV_KEYS:
+        if key not in env:
+            raise BenchError(f"{origin}: env lacks {key!r}")
+    scenarios = record.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise BenchError(f"{origin}: no scenarios")
+    for name, entry in scenarios.items():
+        if not isinstance(entry, dict):
+            raise BenchError(f"{origin}: scenario {name!r} is not a dict")
+        samples = entry.get("samples_s")
+        if not isinstance(samples, list) or not samples \
+                or not all(isinstance(v, (int, float)) for v in samples):
+            raise BenchError(
+                f"{origin}: scenario {name!r} lacks samples_s")
+        for key in _STAT_KEYS:
+            if key not in entry:
+                raise BenchError(
+                    f"{origin}: scenario {name!r} lacks {key!r}")
+    return record
+
+
+def default_output_path(record: dict,
+                        root: pathlib.Path | None = None) -> pathlib.Path:
+    """``BENCH_<shortsha>.json`` at the repo root."""
+    base = root if root is not None else repo_root()
+    sha = record.get("env", {}).get("git_sha", "unknown")
+    short = sha[:10] if sha != "unknown" else "unknown"
+    return base / f"BENCH_{short}.json"
+
+
+def write_record(record: dict, path: str | pathlib.Path | None = None
+                 ) -> pathlib.Path:
+    """Validate and persist a record; returns the written path."""
+    validate_record(record)
+    out = pathlib.Path(path) if path is not None \
+        else default_output_path(record)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return out
+
+
+def load_record(path: str | pathlib.Path) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    return validate_record(record, origin=str(path))

@@ -1,0 +1,203 @@
+"""Built-in benchmark scenarios: the repo's hot paths as named cases.
+
+The suite spans every performance-bearing subsystem so a regression in
+any layer shows up in the ``BENCH_*.json`` trajectory:
+
+* ``compiler.*`` — front end and whole pre-compiler pipeline (the PR-2
+  span profiler runs inside these, so per-phase counters land in each
+  record's ``metrics`` block);
+* ``runtime.*`` — comm-runtime microbenchmarks (ping-pong latency,
+  aggregated halo exchange, collective trees);
+* ``pyback.*`` — scalar vs vectorized numpy frame execution;
+* ``sim.*`` — ClusterSim replays of the paper's table experiments on
+  the calibrated Pentium/Ethernet model.
+
+Scenarios tagged ``quick`` form the CI subset (< ~2 s of measured work
+per repeat across the whole subset); the rest only run in the full
+suite.  Setup fixtures are cached per process so repeats time the hot
+path, not workload construction.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.apps.kernels import jacobi_5pt
+from repro.apps.sprayer import sprayer_source
+from repro.apps.aerofoil import aerofoil_source
+from repro.bench.registry import scenario
+from repro.core import AutoCFD
+from repro.fortran.parser import parse_source
+from repro.interp.values import OffsetArray
+from repro.partition.grid import GridGeometry
+from repro.partition.halo import GhostSpec, ghost_bounds
+from repro.partition.partitioner import Partition
+from repro.runtime import CartComm, HaloExchanger, HaloSpec, spmd_run
+from repro.simulate import ClusterSim, MachineModel, NetworkModel, NodeModel
+
+#: input decks for the two case-study workloads
+SPRAYER_DECK = "2.5 30"
+AEROFOIL_DECK = "0.8"
+
+#: the Table 1-5 calibration (see benchmarks/machine.py)
+PAPER_MACHINE = MachineModel(NodeModel(flop_time=5.0e-8))
+PAPER_NETWORK = NetworkModel(latency=1.0e-3, bandwidth=0.4e6,
+                             shared_medium=True)
+
+
+# -- cached fixtures ---------------------------------------------------------------
+
+@functools.lru_cache(maxsize=None)
+def _sprayer_src() -> str:
+    return sprayer_source(n=60, m=24, iters=5)
+
+
+@functools.lru_cache(maxsize=None)
+def _aerofoil_src() -> str:
+    return aerofoil_source(nx=48, ny=20, nz=8, iters=4)
+
+
+@functools.lru_cache(maxsize=None)
+def _sprayer_plan():
+    return AutoCFD.from_source(_sprayer_src()).compile(partition=(2, 1)).plan
+
+
+@functools.lru_cache(maxsize=None)
+def _aerofoil_plan():
+    return AutoCFD.from_source(_aerofoil_src()) \
+        .compile(partition=(2, 1, 1)).plan
+
+
+@functools.lru_cache(maxsize=None)
+def _jacobi_acfd() -> AutoCFD:
+    return AutoCFD.from_source(jacobi_5pt(n=48, m=32, iters=30))
+
+
+# -- compiler ----------------------------------------------------------------------
+
+@scenario("compiler.lex_parse", tags=("compiler", "quick"))
+def compiler_lex_parse():
+    """Front end only: lex + parse + resolve the sprayer workload."""
+    cu = parse_source(_sprayer_src(), "<bench>")
+    return {"units": len(cu.units)}
+
+
+@scenario("compiler.sprayer_pipeline", tags=("compiler", "quick"))
+def compiler_sprayer_pipeline():
+    """Whole pre-compiler pipeline on the 2-D sprayer (60x24, 2x1)."""
+    result = AutoCFD.from_source(_sprayer_src()).compile(partition=(2, 1))
+    return {"syncs_after": result.plan.syncs_after,
+            "vector_loops": result.report.vector_loops}
+
+
+@scenario("compiler.aerofoil_pipeline", tags=("compiler",))
+def compiler_aerofoil_pipeline():
+    """Whole pipeline on the 3-D aerofoil (48x20x8, 2x1x1): the
+    self-dependent sweeps make this the heaviest analysis workload."""
+    result = AutoCFD.from_source(_aerofoil_src()) \
+        .compile(partition=(2, 1, 1))
+    return {"syncs_after": result.plan.syncs_after,
+            "pipes": len(result.plan.pipes)}
+
+
+# -- runtime -----------------------------------------------------------------------
+
+@scenario("runtime.ping_pong", tags=("runtime", "quick"))
+def runtime_ping_pong():
+    """2-rank send/recv round trips of an 8 KiB payload."""
+    rounds = 200
+    payload = np.zeros(2048, dtype=np.float32)
+
+    def body(comm):
+        if comm.rank == 0:
+            for _ in range(rounds):
+                comm.send(1, payload, tag=7)
+                comm.recv(source=1, tag=7)
+        else:
+            for _ in range(rounds):
+                obj = comm.recv(source=0, tag=7)
+                comm.send(0, obj, tag=7)
+
+    world = spmd_run(2, body)
+    return {"roundtrips": rounds,
+            "bytes_sent": world.trace.comm_stats()["bytes_sent"]}
+
+
+@scenario("runtime.halo_exchange", tags=("runtime", "quick"))
+def runtime_halo_exchange():
+    """4-rank 2x2 aggregated halo exchanges over a 96x96 grid."""
+    rounds = 20
+    dims = (2, 2)
+    grid = GridGeometry((96, 96))
+    part = Partition(grid, dims)
+    ghosts = GhostSpec(((1, 1), (1, 1)))
+    dim_map = (0, 1)
+
+    def body(comm):
+        cart = CartComm(comm, dims)
+        sub = part.subgrid(comm.rank)
+        bounds = ghost_bounds(part, comm.rank, dim_map,
+                              [(1, 96), (1, 96)], ghosts)
+        local = OffsetArray.from_bounds(bounds, name="v")
+        spec = HaloSpec(local, dim_map, sub.owned, ((1, 1), (1, 1)))
+        ex = HaloExchanger(cart, [spec])
+        for _ in range(rounds):
+            ex.exchange()
+
+    world = spmd_run(4, body)
+    return {"exchanges": world.trace.count("exchange")}
+
+
+@scenario("runtime.collectives", tags=("runtime",))
+def runtime_collectives():
+    """4-rank binomial-tree collective mix: allreduce + bcast rounds."""
+    rounds = 100
+
+    def body(comm):
+        acc = 0.0
+        for i in range(rounds):
+            acc += comm.allreduce(float(comm.rank + i))
+            comm.bcast(acc if comm.rank == 0 else None, root=0)
+        return acc
+
+    world = spmd_run(4, body)
+    return {"rounds": rounds,
+            "collective_bytes":
+                world.trace.comm_stats()["collective_bytes"]}
+
+
+# -- pyback ------------------------------------------------------------------------
+
+@scenario("pyback.scalar_frames", tags=("pyback",))
+def pyback_scalar_frames():
+    """Sequential Jacobi frames through the scalar reference backend."""
+    _jacobi_acfd().run_sequential(vectorize=False)
+    return {"grid": "48x32", "iters": 30}
+
+
+@scenario("pyback.vector_frames", tags=("pyback", "quick"))
+def pyback_vector_frames():
+    """The same Jacobi frames through the vectorizing backend."""
+    _jacobi_acfd().run_sequential(vectorize=True)
+    return {"grid": "48x32", "iters": 30}
+
+
+# -- simulator ---------------------------------------------------------------------
+
+@scenario("sim.sprayer_replay", tags=("sim", "quick"))
+def sim_sprayer_replay():
+    """Table 3-style replay: sprayer plan, calibrated model, 200 frames."""
+    out = ClusterSim(_sprayer_plan(), machine=PAPER_MACHINE,
+                     network=PAPER_NETWORK, chunks=1).run(200)
+    return {"frames": 200, "sim_time_s": out.total_time}
+
+
+@scenario("sim.aerofoil_replay", tags=("sim",))
+def sim_aerofoil_replay():
+    """Table 2-style replay: aerofoil plan (pipelined sweeps), 100
+    frames on the calibrated model."""
+    out = ClusterSim(_aerofoil_plan(), machine=PAPER_MACHINE,
+                     network=PAPER_NETWORK, chunks=1).run(100)
+    return {"frames": 100, "sim_time_s": out.total_time}

@@ -1,0 +1,57 @@
+"""Robust summary statistics for benchmark samples.
+
+Benchmark timing on a shared machine is contaminated by one-sided noise
+(scheduler preemption, GC, turbo transitions), so the comparator works
+on the **minimum** (the cleanest observation of the true cost) and
+scales its tolerance with the **median absolute deviation** (a spread
+estimate a single outlier cannot inflate, unlike the standard
+deviation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchError
+
+
+def median(values: list[float]) -> float:
+    if not values:
+        raise BenchError("median of no samples")
+    s = sorted(values)
+    mid = len(s) // 2
+    if len(s) % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def mad(values: list[float]) -> float:
+    """Median absolute deviation from the median."""
+    m = median(values)
+    return median([abs(v - m) for v in values])
+
+
+def quantile(values: list[float], q: float) -> float:
+    """Exact linear-interpolation quantile of the samples."""
+    if not values:
+        raise BenchError("quantile of no samples")
+    if not 0.0 <= q <= 1.0:
+        raise BenchError(f"quantile must be in [0, 1], got {q}")
+    s = sorted(values)
+    pos = q * (len(s) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(s) - 1)
+    return s[lo] + (pos - lo) * (s[hi] - s[lo])
+
+
+def summarize(samples: list[float]) -> dict:
+    """The per-scenario statistics block of a bench record."""
+    if not samples:
+        raise BenchError("summarize of no samples")
+    return {
+        "n": len(samples),
+        "min_s": min(samples),
+        "max_s": max(samples),
+        "mean_s": sum(samples) / len(samples),
+        "median_s": median(samples),
+        "mad_s": mad(samples),
+        "p90_s": quantile(samples, 0.90),
+    }

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     acfd run flow.f90 --partition 2x2 --input deck.txt
     acfd simulate flow.f90 --partition 2x2 --frames 1000
     acfd profile flow.f90 --partition 2x2 --trace-out flow.trace.json
+    acfd bench --quick --against benchmarks/baseline.json
 
 ``compile`` writes the parallel program, ``report`` prints the Table-1
 style synchronization accounting (``--json`` for machine-readable
@@ -19,7 +20,12 @@ the per-rank compute/blocked/halo breakdown of a real parallel run with
 its load-imbalance and comm/compute numbers, the simulator's prediction
 of the same breakdown, and writes a Chrome-trace JSON (open it in
 ``ui.perfetto.dev``).  ``run`` and ``simulate`` accept ``--trace-out``
-to dump the same JSON without the report.
+to dump the same JSON without the report; ``run`` and ``profile``
+accept ``--metrics-out`` for a Prometheus text dump of every metric.
+``bench`` runs the registered benchmark scenarios, writes a
+``BENCH_<git-sha>.json`` record, and (with ``--against``) gates the run
+against an earlier record; ``--drift`` prints the model-vs-measured
+category drift instead.
 """
 
 from __future__ import annotations
@@ -34,7 +40,11 @@ import numpy as np
 from repro.core import AutoCFD
 from repro.core.report import CompilationReport
 from repro.errors import ReproError
-from repro.obs import build_export, write_chrome_trace
+from repro.obs import (
+    build_export,
+    observe_trace_histograms,
+    write_chrome_trace,
+)
 from repro.simulate import ClusterSim, MachineModel, NetworkModel
 
 
@@ -99,6 +109,32 @@ def _vectorize_flag(args) -> bool:
     return getattr(args, "backend", "vector") != "scalar"
 
 
+def _histogram_table(snapshot: dict) -> str:
+    """Quantile table over every histogram in a metrics snapshot."""
+    lines = [f"{'histogram':<24s} {'count':>6s} {'p50':>10s} "
+             f"{'p90':>10s} {'p99':>10s} {'max':>10s}"]
+    for name, snap in snapshot.items():
+        if not isinstance(snap, dict) or "p50" not in snap:
+            continue
+        lines.append(
+            f"{name:<24s} {snap['count']:>6d} "
+            f"{snap['p50'] * 1e3:>7.3f} ms {snap['p90'] * 1e3:>7.3f} ms "
+            f"{snap['p99'] * 1e3:>7.3f} ms {snap['max'] * 1e3:>7.3f} ms")
+    return "\n".join(lines) if len(lines) > 1 else ""
+
+
+def _write_metrics(args, acfd, trace=None) -> None:
+    """--metrics-out: Prometheus text exposition of the run's registry."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    if trace is not None:
+        observe_trace_histograms(acfd.obs.metrics, trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(acfd.obs.metrics.expose_text())
+    print(f"wrote {path}")
+
+
 def cmd_run(args) -> int:
     acfd = _load(args.source)
     input_text = None
@@ -122,6 +158,7 @@ def cmd_run(args) -> int:
     if args.trace_out:
         data = build_export(compiler=acfd.obs, trace=par.trace)
         print(f"wrote {write_chrome_trace(args.trace_out, data)}")
+    _write_metrics(args, acfd, trace=par.trace)
     return 0 if ok else 1
 
 
@@ -182,6 +219,11 @@ def cmd_profile(args) -> int:
     frames = par.timeline().frames()
     if len(frames) > 1:
         print(f"frames inferred: {len(frames)}")
+    observe_trace_histograms(acfd.obs.metrics, par.trace)
+    hist_table = _histogram_table(acfd.obs.metrics.snapshot())
+    if hist_table:
+        print("\n== runtime event durations (quantiles) ==")
+        print(hist_table)
 
     print(f"\n== cluster model (simulated, {args.frames} frames) ==")
     sim = ClusterSim(result.plan, record_timeline=True)
@@ -198,7 +240,59 @@ def cmd_profile(args) -> int:
                         sim_spans=out.spans)
     print(f"\nwrote {write_chrome_trace(trace_out, data)} "
           f"(open in ui.perfetto.dev)")
+    _write_metrics(args, acfd)
     return 0
+
+
+def cmd_bench(args) -> int:
+    """Run the benchmark suite / comparator / drift checker."""
+    import pathlib
+
+    from repro import bench
+
+    if args.drift:
+        report = bench.run_drift()
+        print("== model-vs-measured drift "
+              f"(sprayer 60x24, {report.frames} frames, "
+              f"{'x'.join(map(str, report.partition))}) ==")
+        print(report.table())
+        return 0
+
+    registry = bench.load_builtin()
+    tags = list(args.tag or [])
+    if args.quick:
+        tags.append("quick")
+    scenarios = registry.select(tags=tags or None,
+                                names=args.scenario or None)
+    if args.list:
+        for sc in scenarios:
+            print(f"{sc.name:<28s} tags={','.join(sorted(sc.tags))} "
+                  f"repeats={sc.repeats}")
+        return 0
+
+    record = bench.run_suite(scenarios, repeats=args.repeats,
+                             warmup=args.warmup, progress=print)
+    out_path = pathlib.Path(args.out) if args.out \
+        else bench.default_output_path(record)
+    if args.update_baseline:
+        baseline_path = bench.repo_root() / "benchmarks" / "baseline.json"
+        print(f"wrote {bench.write_record(record, baseline_path)}")
+    print(f"wrote {bench.write_record(record, out_path)}")
+
+    if not args.against:
+        return 0
+    baseline = bench.resolve_baseline(args.against, exclude=out_path)
+    mismatches = bench.env_mismatches(baseline, record)
+    if mismatches:
+        print(f"warning: baseline measured in a different environment "
+              f"({', '.join(mismatches)} differ) — deltas are advisory")
+    threshold = (args.threshold if args.threshold is not None
+                 else bench.DEFAULT_THRESHOLD)
+    mad_k = args.mad_k if args.mad_k is not None else bench.DEFAULT_MAD_K
+    deltas = bench.compare_records(baseline, record,
+                                   rel_threshold=threshold, mad_k=mad_k)
+    print(bench.delta_table(deltas))
+    return 1 if bench.regressions(deltas) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference translation")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome-trace/Perfetto JSON of the run")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the run's metrics registry as Prometheus "
+                        "text exposition")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("simulate", help="cluster performance model")
@@ -266,7 +363,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="FILE",
                    help="Chrome-trace JSON path (default: "
                         "<source>.trace.json)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the run's metrics registry as Prometheus "
+                        "text exposition")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="continuous benchmarking: run the scenario suite, write "
+             "BENCH_<sha>.json, gate against a baseline, check "
+             "model-vs-measured drift")
+    p.add_argument("--list", action="store_true",
+                   help="list the selected scenarios and exit")
+    p.add_argument("--quick", action="store_true",
+                   help="only scenarios tagged 'quick' (the CI subset)")
+    p.add_argument("--tag", action="append", metavar="TAG",
+                   help="only scenarios with this tag (repeatable; "
+                        "groups: compiler, runtime, pyback, sim)")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="only this scenario (repeatable)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="timed repeats per scenario (default: "
+                        "per-scenario, typically 5)")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="warmup iterations per scenario (default: 1)")
+    p.add_argument("--out", metavar="FILE",
+                   help="record path (default: BENCH_<sha>.json at the "
+                        "repo root)")
+    p.add_argument("--against", metavar="FILE|latest",
+                   help="compare against a baseline record; exits "
+                        "nonzero on regression")
+    p.add_argument("--threshold", type=float,
+                   default=None,
+                   help="relative slowdown floor for the gate "
+                        "(default: 0.25 = 25%%)")
+    p.add_argument("--mad-k", type=float, default=None,
+                   help="MAD multiplier in the noise tolerance "
+                        "(default: 3.0)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="also refresh benchmarks/baseline.json")
+    p.add_argument("--drift", action="store_true",
+                   help="report per-category predicted-vs-observed "
+                        "drift (ClusterSim vs the real runtime) instead "
+                        "of running the suite")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

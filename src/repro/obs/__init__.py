@@ -24,12 +24,26 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.spans import Profiler, Span, activate, counter, current, span
-from repro.obs.timeline import RankBreakdown, RunRollup, Timeline
+from repro.obs.spans import (
+    Profiler,
+    Span,
+    activate,
+    counter,
+    current,
+    histogram,
+    span,
+)
+from repro.obs.timeline import (
+    RankBreakdown,
+    RunRollup,
+    Timeline,
+    observe_trace_histograms,
+)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "Profiler", "Span", "activate", "counter", "current", "span",
-    "RankBreakdown", "RunRollup", "Timeline",
+    "Profiler", "Span", "activate", "counter", "current", "histogram",
+    "span",
+    "RankBreakdown", "RunRollup", "Timeline", "observe_trace_histograms",
     "build_export", "chrome_trace", "runtime_spans", "write_chrome_trace",
 ]

@@ -60,7 +60,15 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution: count/sum/min/max plus log2 buckets."""
+    """Streaming distribution: count/sum/min/max plus log2 buckets.
+
+    Bucket ``i`` counts observations with ``2**(i-1) < v <= 2**i``;
+    indices go negative for sub-unit values (bucket 0 is (0.5, 1],
+    bucket -1 is (0.25, 0.5], ...), which keeps resolution for the
+    sub-second durations the profiler feeds in.  Non-positive values
+    land in a dedicated underflow bucket instead of aliasing with
+    bucket 0 — a zero-duration event and a 0.8 s one must not merge.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -69,8 +77,8 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
-        #: bucket i counts observations with 2**(i-1) < v <= 2**i (v > 0)
         self._buckets: dict[int, int] = {}
+        self._underflow = 0  # observations with v <= 0
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -78,22 +86,66 @@ class Histogram:
             self.sum += value
             self.min = min(self.min, value)
             self.max = max(self.max, value)
-            b = 0 if value <= 0 else max(0, math.ceil(math.log2(value)))
-            self._buckets[b] = self._buckets.get(b, 0) + 1
+            if value <= 0:
+                self._underflow += 1
+            else:
+                b = math.ceil(math.log2(value))
+                self._buckets[b] = self._buckets.get(b, 0) + 1
 
     @property
     def mean(self) -> float:
         with self._lock:
             return self.sum / self.count if self.count else 0.0
 
+    def _segments(self) -> list[tuple[float, float, int]]:
+        """(lo, hi, count) value ranges in ascending order (lock held).
+
+        Bucket edges are clipped to the observed min/max so quantile
+        interpolation never extrapolates past actual observations.
+        """
+        segments: list[tuple[float, float, int]] = []
+        if self._underflow:
+            segments.append((self.min, min(self.max, 0.0),
+                             self._underflow))
+        for b in sorted(self._buckets):
+            lo = max(2.0 ** (b - 1), self.min)
+            hi = min(2.0 ** b, self.max)
+            segments.append((min(lo, hi), hi, self._buckets[b]))
+        return segments
+
+    def _quantile_locked(self, q: float) -> float:
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for lo, hi, n in self._segments():
+            if seen + n >= target:
+                frac = (target - seen) / n
+                return lo + frac * (hi - lo)
+            seen += n
+        return self.max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by interpolating inside the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
     def snapshot(self):
         with self._lock:
             if not self.count:
                 return {"count": 0, "sum": 0.0}
-            return {"count": self.count, "sum": self.sum,
+            snap = {"count": self.count, "sum": self.sum,
                     "min": self.min, "max": self.max,
                     "mean": self.sum / self.count,
+                    "p50": self._quantile_locked(0.50),
+                    "p90": self._quantile_locked(0.90),
+                    "p99": self._quantile_locked(0.99),
                     "buckets": dict(sorted(self._buckets.items()))}
+            if self._underflow:
+                snap["underflow"] = self._underflow
+            return snap
 
 
 class MetricsRegistry:
@@ -128,3 +180,54 @@ class MetricsRegistry:
             instruments = dict(self._instruments)
         return {name: inst.snapshot()
                 for name, inst in sorted(instruments.items())}
+
+    def expose_text(self, prefix: str = "acfd") -> str:
+        """Prometheus text exposition of every registered instrument.
+
+        Counters and gauges expose their value; histograms expose the
+        standard cumulative ``_bucket{le=...}`` series (``le="0"`` is the
+        underflow bucket, upper bounds are the log2 edges) plus ``_sum``
+        and ``_count``.  Metric names are sanitized to the Prometheus
+        charset (dots become underscores) and prefixed.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: list[str] = []
+        for name, inst in sorted(instruments.items()):
+            metric = _prom_name(prefix, name)
+            if isinstance(inst, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_prom_num(inst.value)}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_prom_num(inst.value)}")
+            elif isinstance(inst, Histogram):
+                lines.append(f"# TYPE {metric} histogram")
+                with inst._lock:
+                    cumulative = inst._underflow
+                    if inst._underflow:
+                        lines.append(
+                            f'{metric}_bucket{{le="0"}} {cumulative}')
+                    for b in sorted(inst._buckets):
+                        cumulative += inst._buckets[b]
+                        lines.append(f'{metric}_bucket{{le='
+                                     f'"{_prom_num(2.0 ** b)}"}} '
+                                     f'{cumulative}')
+                    lines.append(f'{metric}_bucket{{le="+Inf"}} '
+                                 f'{inst.count}')
+                    lines.append(f"{metric}_sum {_prom_num(inst.sum)}")
+                    lines.append(f"{metric}_count {inst.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                   for ch in name)
+    return f"{prefix}_{safe}"
+
+
+def _prom_num(value) -> str:
+    """Number formatting that round-trips through ``float()``."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))

@@ -25,7 +25,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 
 @dataclass
@@ -127,8 +127,9 @@ def span(name: str, cat: str = "phase", **args):
         yield sp
 
 
-#: shared sink for counter writes when no profiler is active
+#: shared sinks for instrument writes when no profiler is active
 _NULL_COUNTER = Counter("null")
+_NULL_HISTOGRAM = Histogram("null")
 
 
 def counter(name: str) -> Counter:
@@ -137,3 +138,11 @@ def counter(name: str) -> Counter:
     if profiler is None:
         return _NULL_COUNTER
     return profiler.metrics.counter(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Named histogram on the active profiler's registry (or a null sink)."""
+    profiler = _ACTIVE.get()
+    if profiler is None:
+        return _NULL_HISTOGRAM
+    return profiler.metrics.histogram(name)

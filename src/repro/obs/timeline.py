@@ -227,3 +227,24 @@ class Timeline:
     def per_frame(self) -> list[RunRollup]:
         """One roll-up per inferred frame window."""
         return [self.rollup(t0, t1) for t0, t1 in self.frames()]
+
+
+def observe_trace_histograms(registry, trace,
+                             prefix: str = "runtime") -> None:
+    """Feed a runtime trace's leaf-event durations into histograms.
+
+    One histogram per category (``<prefix>.blocked_s``, ``.halo_s``,
+    ``.collective_s``, ``.send_s``) so ``acfd profile``, ``acfd bench``
+    records, and the Prometheus exposition all see quantiles of the
+    individual event durations, not just the roll-up totals.  Receive
+    events additionally feed ``<prefix>.recv_wait_s`` with the blocked
+    wall-time the runtime accounted per receive.
+    """
+    for e in trace.snapshot():
+        cat = LEAF_CATS.get(e.kind)
+        if cat is None:
+            continue
+        if e.t1 >= e.t0:
+            registry.histogram(f"{prefix}.{cat}_s").observe(e.t1 - e.t0)
+        if e.kind == "recv":
+            registry.histogram(f"{prefix}.recv_wait_s").observe(e.wait_s)

@@ -1,0 +1,123 @@
+"""Comparator: noise-aware regression gate semantics."""
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    compare_records,
+    delta_table,
+    env_mismatches,
+    find_latest,
+    regressions,
+)
+from repro.errors import BenchError
+
+
+def make_record(samples_by_name, host="benchhost"):
+    """A schema-valid record with the given per-scenario samples."""
+    from repro.bench.stats import summarize
+    scenarios = {}
+    for name, samples in samples_by_name.items():
+        entry = {"tags": [], "repeats": len(samples), "warmup": 0,
+                 "samples_s": list(samples), "metrics": {}, "extra": {}}
+        entry.update(summarize(list(samples)))
+        scenarios[name] = entry
+    return {"schema": SCHEMA,
+            "env": {"git_sha": "deadbeef", "git_dirty": False,
+                    "python": "3.12.0", "numpy": "2.0.0",
+                    "platform": "test", "machine": "x86_64",
+                    "cpu_count": 8, "hostname": host,
+                    "created_utc": "2026-08-06T00:00:00Z"},
+            "scenarios": scenarios}
+
+
+BASE = {"a.x": [1.00, 1.01, 1.02], "b.y": [0.10, 0.11, 0.10]}
+
+
+class TestGate:
+    def test_identical_rerun_is_clean(self):
+        old = make_record(BASE)
+        new = make_record(BASE)
+        deltas = compare_records(old, new)
+        assert all(d.status == "ok" for d in deltas)
+        assert regressions(deltas) == []
+
+    def test_injected_2x_slowdown_flags_regression(self):
+        old = make_record(BASE)
+        new = make_record({"a.x": [2.00, 2.02, 2.04],
+                           "b.y": [0.10, 0.11, 0.10]})
+        deltas = compare_records(old, new)
+        reg = regressions(deltas)
+        assert [d.name for d in reg] == ["a.x"]
+        assert reg[0].rel == pytest.approx(1.0)
+
+    def test_improvement_never_gates(self):
+        old = make_record(BASE)
+        new = make_record({"a.x": [0.40, 0.41, 0.42],
+                           "b.y": [0.10, 0.11, 0.10]})
+        deltas = compare_records(old, new)
+        assert deltas[0].status == "improved"
+        assert regressions(deltas) == []
+
+    def test_small_jitter_below_threshold_ok(self):
+        old = make_record(BASE)
+        new = make_record({"a.x": [1.10, 1.12, 1.11],   # +10% < 25%
+                           "b.y": [0.11, 0.12, 0.11]})
+        assert regressions(compare_records(old, new)) == []
+
+    def test_noisy_scenario_needs_bigger_jump(self):
+        # old min 1.0 with MAD 0.3: a 1.5x "slowdown" is within
+        # 3*(0.3+0.3) = 1.8 s of noise tolerance -> not a regression
+        old = make_record({"a.x": [1.0, 1.6, 1.3]})
+        new = make_record({"a.x": [1.5, 2.1, 1.8]})
+        assert regressions(compare_records(old, new)) == []
+        # but it IS one under a zero-MAD discipline
+        tight_old = make_record({"a.x": [1.0, 1.0, 1.0]})
+        tight_new = make_record({"a.x": [1.5, 1.5, 1.5]})
+        assert len(regressions(compare_records(tight_old, tight_new))) == 1
+
+    def test_added_and_removed_scenarios_do_not_gate(self):
+        old = make_record({"a.x": [1.0], "gone.z": [1.0]})
+        new = make_record({"a.x": [1.0], "fresh.w": [1.0]})
+        deltas = {d.name: d.status for d in compare_records(old, new)}
+        assert deltas["gone.z"] == "missing"
+        assert deltas["fresh.w"] == "new"
+        assert regressions(compare_records(old, new)) == []
+
+    def test_bad_threshold(self):
+        with pytest.raises(BenchError):
+            compare_records(make_record(BASE), make_record(BASE),
+                            rel_threshold=-1.0)
+
+
+class TestReporting:
+    def test_delta_table_mentions_verdicts(self):
+        old = make_record(BASE)
+        new = make_record({"a.x": [2.0, 2.0, 2.0],
+                           "b.y": [0.10, 0.11, 0.10]})
+        text = delta_table(compare_records(old, new))
+        assert "regression" in text
+        assert "a.x" in text
+        assert "1 regression(s)" in text
+
+    def test_env_mismatch_detection(self):
+        old = make_record(BASE, host="ci-runner-1")
+        new = make_record(BASE, host="laptop")
+        assert env_mismatches(old, new) == ["hostname"]
+        assert env_mismatches(old, old) == []
+
+
+class TestFindLatest:
+    def test_picks_newest_and_excludes(self, tmp_path):
+        import os
+        a = tmp_path / "BENCH_aaa.json"
+        b = tmp_path / "BENCH_bbb.json"
+        a.write_text("{}")
+        b.write_text("{}")
+        os.utime(a, (1, 1))
+        assert find_latest(tmp_path) == b
+        assert find_latest(tmp_path, exclude=b) == a
+
+    def test_no_records_is_error(self, tmp_path):
+        with pytest.raises(BenchError, match="no BENCH"):
+            find_latest(tmp_path)

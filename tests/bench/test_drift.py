@@ -1,0 +1,47 @@
+"""Drift checker: predicted-vs-observed category shares."""
+
+import pytest
+
+from repro.bench import CATEGORIES, run_drift
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_drift(n=40, m=16, iters=4)
+
+
+class TestDriftReport:
+    def test_all_categories_present(self, report):
+        assert set(report.categories) == set(CATEGORIES)
+        for c in report.categories.values():
+            for key in ("predicted_pct", "observed_pct", "drift_pp"):
+                assert isinstance(c[key], float)
+
+    def test_shares_sum_to_100(self, report):
+        pred = sum(c["predicted_pct"] for c in report.categories.values())
+        obs = sum(c["observed_pct"] for c in report.categories.values())
+        assert pred == pytest.approx(100.0, abs=1e-6)
+        assert obs == pytest.approx(100.0, abs=1e-6)
+
+    def test_drift_is_share_difference(self, report):
+        for c in report.categories.values():
+            assert c["drift_pp"] == pytest.approx(
+                c["observed_pct"] - c["predicted_pct"])
+
+    def test_totals_positive(self, report):
+        assert report.observed_s > 0.0
+        assert report.predicted_s > 0.0
+        assert report.frames == 4
+        assert report.partition == (2, 1)
+
+    def test_max_drift_and_dict(self, report):
+        d = report.as_dict()
+        assert d["partition"] == "2x1"
+        assert d["max_drift_pp"] == report.max_drift_pp
+        assert report.max_drift_pp >= 0.0
+
+    def test_table_renders_every_category(self, report):
+        text = report.table()
+        for cat in CATEGORIES:
+            assert cat in text
+        assert "max drift" in text

@@ -1,0 +1,86 @@
+"""Scenario registry: registration, selection, error cases."""
+
+import pytest
+
+from repro.bench import DEFAULT, ScenarioRegistry, load_builtin
+from repro.errors import BenchError
+
+
+def make_registry():
+    reg = ScenarioRegistry()
+
+    @reg.scenario("a.one", tags=("alpha", "quick"))
+    def one():
+        return {"x": 1}
+
+    @reg.scenario("a.two", tags=("alpha",))
+    def two():
+        pass
+
+    @reg.scenario("b.three", tags=("beta", "quick"), repeats=2, warmup=0)
+    def three():
+        pass
+
+    return reg
+
+
+class TestRegistration:
+    def test_registers_and_sorts(self):
+        reg = make_registry()
+        assert [s.name for s in reg.all()] == ["a.one", "a.two", "b.three"]
+
+    def test_duplicate_name_rejected(self):
+        reg = make_registry()
+        with pytest.raises(BenchError, match="already registered"):
+            reg.scenario("a.one")(lambda: None)
+
+    def test_name_must_be_grouped(self):
+        reg = ScenarioRegistry()
+        with pytest.raises(BenchError, match="group"):
+            reg.scenario("flat")(lambda: None)
+
+    def test_per_scenario_discipline(self):
+        reg = make_registry()
+        sc = reg.get("b.three")
+        assert (sc.repeats, sc.warmup) == (2, 0)
+        assert sc.group == "b"
+
+    def test_unknown_get(self):
+        with pytest.raises(BenchError, match="unknown scenario"):
+            make_registry().get("a.missing")
+
+
+class TestSelection:
+    def test_by_tag(self):
+        reg = make_registry()
+        assert [s.name for s in reg.select(tags=["quick"])] \
+            == ["a.one", "b.three"]
+
+    def test_by_name(self):
+        reg = make_registry()
+        assert [s.name for s in reg.select(names=["a.two"])] == ["a.two"]
+
+    def test_no_filter_selects_all(self):
+        assert len(make_registry().select()) == 3
+
+    def test_unknown_name_is_error(self):
+        with pytest.raises(BenchError, match="a.nope"):
+            make_registry().select(names=["a.nope"])
+
+
+class TestBuiltinSuite:
+    """The acceptance-criteria shape of the shipped suite."""
+
+    def test_at_least_eight_scenarios_spanning_subsystems(self):
+        reg = load_builtin()
+        assert reg is DEFAULT
+        scenarios = reg.all()
+        assert len(scenarios) >= 8
+        groups = {s.group for s in scenarios}
+        assert {"compiler", "runtime", "pyback", "sim"} <= groups
+
+    def test_quick_subset_spans_subsystems(self):
+        reg = load_builtin()
+        quick = reg.select(tags=["quick"])
+        assert {s.group for s in quick} \
+            == {"compiler", "runtime", "pyback", "sim"}

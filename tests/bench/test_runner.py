@@ -1,0 +1,104 @@
+"""Runner: record structure, schema validation, persistence."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    ScenarioRegistry,
+    load_record,
+    run_scenario,
+    run_suite,
+    validate_record,
+    write_record,
+)
+from repro.errors import BenchError
+from repro.obs import spans as obs
+
+
+def stub_registry():
+    reg = ScenarioRegistry()
+
+    @reg.scenario("stub.counted", tags=("quick",), repeats=3, warmup=1)
+    def counted():
+        obs.counter("stub.calls").inc()
+        return {"answer": 42}
+
+    @reg.scenario("stub.plain", tags=())
+    def plain():
+        sum(range(100))
+
+    return reg
+
+
+class TestRunScenario:
+    def test_record_entry_shape(self):
+        entry = run_scenario(stub_registry().get("stub.counted"))
+        assert entry["repeats"] == 3
+        assert entry["warmup"] == 1
+        assert len(entry["samples_s"]) == 3
+        assert entry["min_s"] <= entry["median_s"] <= entry["max_s"]
+        assert entry["extra"] == {"answer": 42}
+        assert entry["tags"] == ["quick"]
+
+    def test_metrics_snapshot_captured(self):
+        entry = run_scenario(stub_registry().get("stub.counted"))
+        # the scenario's own counter: warmup + repeats = 4 calls
+        assert entry["metrics"]["stub.calls"] == 4
+        # the runner's per-sample histogram, with quantiles
+        hist = entry["metrics"]["bench.sample_s"]
+        assert hist["count"] == 3
+        assert "p50" in hist
+
+    def test_overrides(self):
+        entry = run_scenario(stub_registry().get("stub.counted"),
+                             repeats=1, warmup=0)
+        assert len(entry["samples_s"]) == 1
+        assert entry["metrics"]["stub.calls"] == 1
+
+
+class TestRunSuite:
+    def test_full_record(self):
+        reg = stub_registry()
+        lines = []
+        record = run_suite(reg.all(), repeats=2, warmup=0,
+                           progress=lines.append)
+        assert record["schema"] == SCHEMA
+        assert set(record["scenarios"]) == {"stub.counted", "stub.plain"}
+        assert len(lines) == 2
+        validate_record(record)
+
+    def test_env_fingerprint(self):
+        record = run_suite(stub_registry().all(), repeats=1, warmup=0)
+        env = record["env"]
+        for key in ("git_sha", "git_dirty", "python", "numpy",
+                    "cpu_count", "hostname", "platform", "created_utc"):
+            assert key in env
+        assert env["cpu_count"] >= 1
+
+    def test_empty_selection_is_error(self):
+        with pytest.raises(BenchError, match="no scenarios"):
+            run_suite([])
+
+
+class TestValidateAndPersist:
+    def test_round_trip(self, tmp_path):
+        record = run_suite(stub_registry().all(), repeats=1, warmup=0)
+        path = write_record(record, tmp_path / "BENCH_test.json")
+        loaded = load_record(path)
+        assert loaded == json.loads(json.dumps(record))  # JSON-stable
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(BenchError, match="schema"):
+            validate_record({"schema": "nope/9"})
+
+    def test_rejects_missing_env(self):
+        with pytest.raises(BenchError, match="env"):
+            validate_record({"schema": SCHEMA, "scenarios": {}})
+
+    def test_rejects_scenario_without_samples(self):
+        record = run_suite(stub_registry().all(), repeats=1, warmup=0)
+        del record["scenarios"]["stub.plain"]["samples_s"]
+        with pytest.raises(BenchError, match="samples_s"):
+            validate_record(record)

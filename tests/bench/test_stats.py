@@ -1,0 +1,56 @@
+"""Summary statistics: median, MAD, quantiles, summarize."""
+
+import pytest
+
+from repro.bench import mad, median, quantile, summarize
+from repro.errors import BenchError
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even(self):
+        assert median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_empty(self):
+        with pytest.raises(BenchError):
+            median([])
+
+
+class TestMad:
+    def test_known_value(self):
+        # median 3, |dev| = [2, 1, 0, 1, 2] -> mad 1
+        assert mad([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+    def test_outlier_resistant(self):
+        # one wild outlier must not inflate the spread estimate
+        assert mad([1.0, 1.0, 1.0, 1.0, 100.0]) == 0.0
+
+
+class TestQuantile:
+    def test_interpolation(self):
+        s = [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert quantile(s, 0.5) == 2.0
+        assert quantile(s, 0.25) == 1.0
+        assert quantile(s, 0.0) == 0.0
+        assert quantile(s, 1.0) == 4.0
+
+    def test_bad_q(self):
+        with pytest.raises(BenchError):
+            quantile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_fields(self):
+        st = summarize([2.0, 1.0, 4.0])
+        assert st["n"] == 3
+        assert st["min_s"] == 1.0
+        assert st["max_s"] == 4.0
+        assert st["median_s"] == 2.0
+        assert st["mean_s"] == pytest.approx(7.0 / 3.0)
+        assert st["mad_s"] == 1.0
+
+    def test_empty(self):
+        with pytest.raises(BenchError):
+            summarize([])

@@ -1,0 +1,162 @@
+"""Histogram bucketing/quantiles and the Prometheus text exposition."""
+
+import math
+import re
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestHistogramBuckets:
+    def test_underflow_not_aliased_with_subunit(self):
+        """Regression: v <= 0 and v in (0, 1] must land in different
+        buckets — the seed merged zero-duration events with sub-unit
+        ones in bucket 0."""
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(0.7)
+        snap = h.snapshot()
+        assert snap["underflow"] == 1
+        assert snap["buckets"] == {0: 1}
+
+    def test_negative_values_underflow(self):
+        h = Histogram("h")
+        h.observe(-3.0)
+        snap = h.snapshot()
+        assert snap["underflow"] == 1
+        assert snap["buckets"] == {}
+
+    def test_subunit_values_keep_resolution(self):
+        """Sub-unit observations spread over negative bucket indices
+        instead of collapsing into bucket 0."""
+        h = Histogram("h")
+        h.observe(0.8)     # (0.5, 1]       -> bucket 0
+        h.observe(0.3)     # (0.25, 0.5]    -> bucket -1
+        h.observe(0.001)   # (2^-10, 2^-9]  -> bucket -9
+        assert h.snapshot()["buckets"] == {-9: 1, -1: 1, 0: 1}
+
+    def test_powers_of_two_are_bucket_upper_bounds(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.snapshot()["buckets"] == {0: 1, 1: 1, 2: 1}
+
+    def test_no_underflow_key_when_all_positive(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        assert "underflow" not in h.snapshot()
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_in_snapshot(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p90"] <= snap["p99"] <= snap["max"]
+        assert snap["p50"] >= snap["min"]
+
+    def test_single_bucket_interpolates_within_clipped_range(self):
+        # 100 observations in (16, 32]: quantiles must stay in range
+        h = Histogram("h")
+        for i in range(100):
+            h.observe(17.0 + 0.1 * i)
+        assert 17.0 <= h.quantile(0.5) <= 26.9
+        assert h.quantile(0.99) <= 26.9
+        assert h.quantile(1.0) == pytest.approx(26.9)
+
+    def test_quantile_spans_buckets(self):
+        h = Histogram("h")
+        for _ in range(90):
+            h.observe(1.0)    # bucket 0
+        for _ in range(10):
+            h.observe(100.0)  # bucket 7
+        assert h.quantile(0.5) <= 1.0
+        assert h.quantile(0.95) > 64.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(2.0)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Minimal parser for the exposition format (the round-trip half)."""
+    metrics: dict = {}
+    types: dict = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            types[name] = kind
+            continue
+        assert not line.startswith("#")
+        m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+                     r'(?:\{le="([^"]+)"\})? (.+)$', line)
+        assert m, f"unparseable line: {line!r}"
+        name, le, value = m.groups()
+        if le is None:
+            metrics[name] = float(value)
+        else:
+            metrics.setdefault(name, {})[le] = float(value)
+    return {"values": metrics, "types": types}
+
+
+class TestExposition:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("compile.loops_scanned").inc(12)
+        reg.gauge("halo.width").set(2.5)
+        h = reg.histogram("bench.sample_s")
+        for v in (0.0, 0.7, 1.5, 3.0):
+            h.observe(v)
+        return reg
+
+    def test_round_trip(self):
+        reg = self.make_registry()
+        parsed = parse_prometheus(reg.expose_text())
+        values, types = parsed["values"], parsed["types"]
+        assert types["acfd_compile_loops_scanned"] == "counter"
+        assert values["acfd_compile_loops_scanned"] == 12
+        assert types["acfd_halo_width"] == "gauge"
+        assert values["acfd_halo_width"] == 2.5
+        assert types["acfd_bench_sample_s"] == "histogram"
+        assert values["acfd_bench_sample_s_count"] == 4
+        assert values["acfd_bench_sample_s_sum"] == pytest.approx(5.2)
+
+    def test_histogram_buckets_cumulative(self):
+        parsed = parse_prometheus(self.make_registry().expose_text())
+        buckets = parsed["values"]["acfd_bench_sample_s_bucket"]
+        # underflow (v<=0) -> le="0"; 0.7 -> le=1; 1.5 -> le=2; 3.0 -> le=4
+        assert buckets["0"] == 1
+        assert buckets["1.0"] == 2
+        assert buckets["2.0"] == 3
+        assert buckets["4.0"] == 4
+        assert buckets["+Inf"] == 4
+        # cumulative counts are monotone
+        finite = [buckets[k] for k in buckets if k != "+Inf"]
+        assert finite == sorted(finite)
+
+    def test_names_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird.name-with:chars").inc()
+        text = reg.expose_text()
+        assert "acfd_weird_name_with_chars 1" in text
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().expose_text() == ""
+
+    def test_math_consistency_with_snapshot(self):
+        reg = self.make_registry()
+        snap = reg.snapshot()["bench.sample_s"]
+        parsed = parse_prometheus(reg.expose_text())
+        assert parsed["values"]["acfd_bench_sample_s_count"] \
+            == snap["count"]
+        assert math.isclose(parsed["values"]["acfd_bench_sample_s_sum"],
+                            snap["sum"])

@@ -115,6 +115,103 @@ class TestFrames:
         assert rolls[0].ranks[0].blocked == pytest.approx(1.0)
 
 
+class TestRollupEdgeCases:
+    def test_zero_recorded_frames(self):
+        """A trace with no events: no frames, no per-frame roll-ups,
+        and the whole-run roll-up is empty but well-formed."""
+        tl = Timeline.from_trace(Trace())
+        assert tl.frames() == []
+        assert tl.per_frame() == []
+        assert tl.span() == (0.0, 0.0)
+        roll = tl.rollup()
+        assert roll.ranks == []
+        assert roll.load_imbalance == 1.0
+        assert roll.critical_path_rank == 0
+        assert roll.table()  # renders without blowing up
+
+    def test_events_without_rank_envelope(self):
+        """Frames on a trace whose rank never emitted its envelope."""
+        tr = Trace()
+        tr.record(_ev(0, "recv", 1.0, 2.0))
+        tl = Timeline.from_trace(tr)
+        assert tl.rank_window(0) == (1.0, 2.0)
+        assert tl.frames() == [(1.0, 2.0)]
+
+    def test_single_rank_balance_is_exactly_one(self):
+        """One rank: load imbalance must be exactly 1.0 (max == mean)
+        with no division blowups, and it is its own critical path."""
+        tr = Trace()
+        tr.record(_ev(0, "rank", 0.0, 4.0))
+        tr.record(_ev(0, "recv", 1.0, 2.0))
+        roll = Timeline.from_trace(tr).rollup()
+        assert len(roll.ranks) == 1
+        assert roll.load_imbalance == 1.0
+        assert roll.critical_path_rank == 0
+        assert roll.ranks[0].compute == pytest.approx(3.0)
+
+    def test_single_rank_zero_busy_time(self):
+        """A rank that spent its whole window blocked: mean busy is 0,
+        the imbalance factor must fall back to 1.0, not divide by 0."""
+        tr = Trace()
+        tr.record(_ev(0, "rank", 0.0, 2.0))
+        tr.record(_ev(0, "recv", 0.0, 2.0))
+        roll = Timeline.from_trace(tr).rollup()
+        assert roll.ranks[0].busy == 0.0
+        assert roll.load_imbalance == 1.0
+
+    def test_collective_only_trace(self):
+        """A trace holding nothing but collective spans: all non-idle
+        time classifies as collective, compute absorbs the rest, and
+        the comm/compute ratio stays finite while compute exists."""
+        tr = Trace()
+        for r in (0, 1):
+            tr.record(_ev(r, "rank", 0.0, 4.0))
+            tr.record(_ev(r, "barrier", 0.0, 1.0))
+            tr.record(_ev(r, "allreduce", 1.0, 2.0))
+            tr.record(_ev(r, "bcast", 2.0, 3.0))
+        roll = Timeline.from_trace(tr).rollup()
+        for rb in roll.ranks:
+            assert rb.collective == pytest.approx(3.0)
+            assert rb.blocked == 0.0
+            assert rb.halo == 0.0
+            assert rb.compute == pytest.approx(1.0)
+        assert roll.comm_compute_ratio == pytest.approx(6.0 / 2.0)
+        assert roll.load_imbalance == 1.0
+
+    def test_collective_covering_whole_window(self):
+        """Collectives filling the entire window: compute is 0 and the
+        comm/compute ratio degrades to inf instead of raising."""
+        tr = Trace()
+        tr.record(_ev(0, "rank", 0.0, 2.0))
+        tr.record(_ev(0, "allreduce", 0.0, 2.0))
+        roll = Timeline.from_trace(tr).rollup()
+        assert roll.ranks[0].compute == 0.0
+        assert roll.comm_compute_ratio == float("inf")
+
+
+class TestObserveTraceHistograms:
+    def test_durations_feed_category_histograms(self):
+        from repro.obs import MetricsRegistry, observe_trace_histograms
+        reg = MetricsRegistry()
+        tr = _two_rank_trace()
+        observe_trace_histograms(reg, tr)
+        snap = reg.snapshot()
+        assert snap["runtime.blocked_s"]["count"] == 2   # two recvs
+        assert snap["runtime.halo_s"]["count"] == 3      # pack/unpack
+        assert snap["runtime.collective_s"]["count"] == 1
+        assert snap["runtime.recv_wait_s"]["count"] == 2
+        assert snap["runtime.blocked_s"]["sum"] == pytest.approx(3.0)
+
+    def test_envelopes_ignored(self):
+        from repro.obs import MetricsRegistry, observe_trace_histograms
+        reg = MetricsRegistry()
+        tr = Trace()
+        tr.record(_ev(0, "rank", 0.0, 10.0))
+        tr.record(_ev(0, "exchange", 0.0, 1.0, tag=1))
+        observe_trace_histograms(reg, tr)
+        assert reg.snapshot() == {}
+
+
 class TestTraceIntegration:
     def test_trace_timeline_shortcut(self):
         tl = _two_rank_trace().timeline()
