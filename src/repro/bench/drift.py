@@ -25,7 +25,7 @@ from repro.apps.sprayer import sprayer_source
 from repro.core import AutoCFD
 from repro.simulate import ClusterSim, MachineModel, NetworkModel, NodeModel
 
-CATEGORIES = ("compute", "halo", "collective", "blocked")
+CATEGORIES = ("compute", "halo", "collective", "blocked", "fault")
 
 #: input deck for the sprayer workload (fan speed, fan position)
 _SPRAYER_DECK = "2.5 30"
@@ -92,6 +92,7 @@ def _observed_breakdown(rollup) -> dict[str, float]:
         out["halo"] += r.halo + r.send
         out["collective"] += r.collective
         out["blocked"] += r.blocked
+        out["fault"] += r.fault
     return out
 
 
@@ -107,16 +108,36 @@ def _predicted_breakdown(spans) -> dict[str, float]:
 def run_drift(n: int = 60, m: int = 24, iters: int = 8,
               partition: tuple[int, ...] = (2, 1),
               machine: MachineModel | None = None,
-              network: NetworkModel | None = None) -> DriftReport:
+              network: NetworkModel | None = None,
+              faults=None, checkpoint_every: int = 1,
+              restart_cost: float = 0.02) -> DriftReport:
     """Compile a small sprayer grid, run it for real and on the model.
 
     The grid is deliberately small: drift is a *shape* comparison, and
     a sub-second real run keeps ``acfd bench --drift`` interactive.
+
+    With a :class:`repro.faults.FaultPlan` the comparison covers a
+    *degraded* run: the real runtime executes under injection (recovering
+    through checkpoints if the plan crashes a rank) and the simulator
+    models the same straggler/crash events, so the ``fault`` share is
+    part of the drift signal.
     """
-    acfd = AutoCFD.from_source(sprayer_source(n=n, m=m, iters=iters))
+    acfd = AutoCFD.from_source(sprayer_source(n=n, m=m, iters=iters,
+                                              eps=0.0 if faults is not None
+                                              else 1.0e-6))
     result = acfd.compile(partition=partition)
 
-    par = result.run_parallel(input_text=_SPRAYER_DECK)
+    if faults is None:
+        par = result.run_parallel(input_text=_SPRAYER_DECK)
+    else:
+        import tempfile
+
+        from repro.faults import run_recovered
+        with tempfile.TemporaryDirectory(prefix="acfd_drift_ckpt_") as d:
+            par, _attempts, _inj = run_recovered(
+                result.plan, result.spmd_cu, fault_plan=faults,
+                ckpt_dir=d, input_text=_SPRAYER_DECK,
+                every=checkpoint_every)
     observed_roll = par.rollup()
     observed = _observed_breakdown(observed_roll)
     observed_total = max((r.total for r in observed_roll.ranks),
@@ -127,7 +148,11 @@ def run_drift(n: int = 60, m: int = 24, iters: int = 8,
                      else HOST_MACHINE,
                      network=network if network is not None
                      else HOST_NETWORK,
-                     chunks=1, record_timeline=True)
+                     chunks=1, record_timeline=True,
+                     faults=faults, checkpoint_every=checkpoint_every,
+                     # host calibration: respawning rank threads is
+                     # milliseconds, not the cluster model's half second
+                     restart_cost=restart_cost)
     # keep every frame inside the simulated (span-recorded) window
     out = sim.run(iters, warmup=max(iters, 2))
     predicted = _predicted_breakdown(out.spans)

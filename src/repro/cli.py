@@ -244,6 +244,46 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Fault matrix: inject faults, recover, assert bitwise equality."""
+    from repro.faults import FAULT_KINDS, run_chaos
+
+    scenarios = tuple(s.strip() for s in args.scenarios.split(",")
+                      if s.strip())
+    bad = [s for s in scenarios if s not in FAULT_KINDS]
+    if bad:
+        print(f"acfd: unknown fault scenario(s) {', '.join(bad)} "
+              f"(known: {', '.join(FAULT_KINDS)})", file=sys.stderr)
+        return 2
+    source = None
+    input_text = None
+    if args.source:
+        source = (sys.stdin.read() if args.source == "-" else
+                  open(args.source, "r", encoding="utf-8").read())
+        if args.input:
+            with open(args.input, "r", encoding="utf-8") as fh:
+                input_text = fh.read()
+    partition = args.partition
+    if partition is None:
+        partition = ((2, 2, 1) if source is None
+                     and args.app == "aerofoil" else (2, 2))
+    report = run_chaos(app=args.app, source=source, input_text=input_text,
+                       frames=args.frames, partition=partition,
+                       seed=args.seed, scenarios=scenarios,
+                       recover=not args.no_recover,
+                       max_restarts=args.max_restarts, every=args.every,
+                       full=args.full, timeout=args.timeout)
+    print(report.table())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=1)
+        print(f"wrote {args.report}")
+    if not report.ok:
+        failed = [s.name for s in report.scenarios if not s.ok]
+        print(f"acfd: chaos FAILED: {', '.join(failed)}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_bench(args) -> int:
     """Run the benchmark suite / comparator / drift checker."""
     import pathlib
@@ -251,10 +291,17 @@ def cmd_bench(args) -> int:
     from repro import bench
 
     if args.drift:
-        report = bench.run_drift()
+        faults = None
+        if args.degraded:
+            from repro.faults import FaultPlan
+            size = 2  # default drift partition is 2x1
+            faults = FaultPlan.seeded(args.degraded, size,
+                                      kinds=("straggler", "crash"))
+        report = bench.run_drift(faults=faults)
+        mode = " (degraded)" if faults is not None else ""
         print("== model-vs-measured drift "
               f"(sprayer 60x24, {report.frames} frames, "
-              f"{'x'.join(map(str, report.partition))}) ==")
+              f"{'x'.join(map(str, report.partition))}){mode} ==")
         print(report.table())
         return 0
 
@@ -406,7 +453,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report per-category predicted-vs-observed "
                         "drift (ClusterSim vs the real runtime) instead "
                         "of running the suite")
+    p.add_argument("--degraded", type=int, metavar="SEED",
+                   help="with --drift: inject a seeded straggler+crash "
+                        "plan into both the real run and the model, so "
+                        "the comparison covers a degraded run")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection matrix: run an app under seeded faults "
+             "(message drop/delay/duplication, stragglers, rank "
+             "crashes) with checkpoint/restart recovery and assert the "
+             "final grids match the fault-free run bitwise")
+    p.add_argument("source", nargs="?",
+                   help="Fortran source file ('-' for stdin); default: "
+                        "a built-in app (see --app)")
+    p.add_argument("--app", choices=("sprayer", "aerofoil"),
+                   default="sprayer",
+                   help="built-in workload when no source is given")
+    p.add_argument("--input", "-i",
+                   help="list-directed input deck file (with source)")
+    p.add_argument("--partition", "-p", type=_parse_partition,
+                   help="processors per grid dimension (default 2x2, "
+                        "2x2x1 for the aerofoil)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed; the whole matrix is "
+                        "reproducible from it")
+    p.add_argument("--scenarios",
+                   default="drop,delay,duplicate,straggler,crash",
+                   help="comma-separated fault kinds, one scenario each")
+    p.add_argument("--no-recover", action="store_true",
+                   help="disable checkpoint/restart recovery: the first "
+                        "failure propagates with rank attribution")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="recovery budget per scenario")
+    p.add_argument("--every", type=int, default=1,
+                   help="checkpoint cadence in frames")
+    p.add_argument("--frames", type=int, default=8,
+                   help="frame bound faults are placed within (explicit "
+                        "source only; built-in apps report their own)")
+    p.add_argument("--full", action="store_true",
+                   help="built-in apps at paper scale instead of the "
+                        "quick deck")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-attempt receive watchdog (seconds)")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the chaos report as JSON")
+    p.set_defaults(fn=cmd_chaos)
     return parser
 
 

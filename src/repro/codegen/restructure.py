@@ -72,6 +72,7 @@ class Restructurer:
     # -- public -------------------------------------------------------------------
 
     def run(self) -> A.CompilationUnit:
+        self._plan_frame_insertions()
         self._plan_sync_insertions()
         self._plan_pipe_insertions()
         self._plan_reduction_insertions()
@@ -91,6 +92,36 @@ class Restructurer:
         args: list[A.Expr] = [_int(sync_id)]
         args.extend(A.Var(name) for name, _d in sync.arrays)
         return _call("acfd_exchange", *args)
+
+    def _plan_frame_insertions(self) -> None:
+        """Plant the frame-boundary hook at the top of the time loop.
+
+        ``if (acfd_frame(it, arrays...) .ne. 0) cycle`` gives the runtime
+        one call per frame to checkpoint, restore, or inject faults; a
+        nonzero return fast-forwards the frame during recovery.  On a real
+        cluster the Fortran stub returns 0 and the statement is inert.
+        Priority 10 "before" the first body statement keeps it above any
+        exchange (priority 2) inserted at the same position.
+        """
+        from repro.codegen.schedule import _frame_loop_node
+        node = _frame_loop_node(self.plan)
+        if node is None:
+            return
+        try:
+            table = self.plan.cu.unit(node.unit_name).symbols
+        except KeyError:
+            return
+        args: list[A.Expr] = [A.Var(self.directives.frame_var)]
+        for name in self.plan.arrays:
+            sym = table.get(name)
+            if sym is not None and sym.is_array:
+                args.append(A.Var(name))
+        hook = A.LogicalIf(cond=A.BinOp(".ne.", _fn("acfd_frame", *args),
+                                        _int(0)),
+                           stmt=A.CycleStmt())
+        self.ops.append(_InsertOp(node.unit_name,
+                                  node.path + (("body", 0),),
+                                  "before", [hook], priority=10))
 
     def _plan_sync_insertions(self) -> None:
         for sync in self.plan.syncs:

@@ -18,13 +18,16 @@ flows through one of these methods (the generated Python maps a call
 ``acfd_allreduce_*``     global max/min/sum of a scalar
 ``acfd_bcast(x)``        broadcast from rank 0
 ``acfd_barrier()``       barrier
+``acfd_frame(it, …)``    frame boundary: checkpoint / restore / faults
 ======================  ====================================================
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.codegen.plan import ParallelPlan
-from repro.errors import RuntimeCommError
+from repro.errors import CheckpointError, RuntimeCommError
 from repro.interp.values import OffsetArray
 from repro.partition.halo import GhostSpec, ghost_bounds
 from repro.runtime.cart import CartComm
@@ -38,7 +41,8 @@ _PIPE_TAG_BASE = 1 << 17
 class RankRuntime:
     """One rank's view of the parallel execution (the ``ctx.rt`` object)."""
 
-    def __init__(self, comm: Communicator, plan: ParallelPlan) -> None:
+    def __init__(self, comm: Communicator, plan: ParallelPlan, *,
+                 faults=None, checkpoints=None) -> None:
         self.comm = comm
         self.plan = plan
         self.partition = plan.partition
@@ -49,6 +53,17 @@ class RankRuntime:
         self.cart = CartComm(comm, self.partition.dims)
         self.subgrid = self.partition.subgrid(comm.rank)
         self._exchangers: dict[int, HaloExchanger] = {}
+        #: optional :class:`repro.faults.FaultInjector`
+        self.faults = faults
+        #: optional :class:`repro.faults.Checkpointer`
+        self.checkpoints = checkpoints
+        self._ctx = None
+        self._restored = False
+
+    def bind_ctx(self, ctx) -> None:
+        """Attach the rank's execution context (COMMON-block storage) so
+        frame checkpoints can snapshot state the hook's arguments miss."""
+        self._ctx = ctx
 
     # -- identity / geometry -----------------------------------------------------
 
@@ -227,3 +242,91 @@ class RankRuntime:
 
     def barrier(self) -> None:
         self.comm.barrier()
+
+    # -- frame boundary (checkpoint / restore / fault injection) -------------------
+
+    def frame(self, it, *arrays) -> int:
+        """The ``acfd_frame`` hook at the top of the time loop.
+
+        Returns 1 when the frame must be skipped (the generated code
+        ``cycle``s): during recovery, frames before the restore point are
+        fast-forwarded — their effects are already inside the checkpoint.
+        Order matters: a due checkpoint is written *before* faults fire,
+        so an injected crash at frame N leaves a frame-N snapshot to
+        restore from.
+        """
+        it = int(it)
+        ck = self.checkpoints
+        if ck is not None:
+            restore = ck.restore_frame
+            if restore is not None and not self._restored:
+                if it < restore:
+                    return 1
+                self._restore(it, arrays)
+            elif ck.due(it):
+                self._save(it, arrays)
+        if self.faults is not None:
+            self.faults.on_frame(self.comm.rank, it)
+        return 0
+
+    def _snapshot(self, arrays) -> tuple[dict, dict]:
+        """Split live state into (hook arrays by name, COMMON slots)."""
+        commons: dict[tuple[str, int], object] = {}
+        seen: set[int] = set()
+        if self._ctx is not None:
+            for block, slots in self._ctx.commons.items():
+                for pos, slot in enumerate(slots):
+                    if isinstance(slot, OffsetArray):
+                        commons[(block, pos)] = slot.data
+                        seen.add(id(slot))
+                    else:
+                        commons[(block, pos)] = slot
+        named = {}
+        for arr in arrays:
+            # COMMON-resident status arrays are captured via their slot;
+            # only function-local arrays need the by-name channel
+            if isinstance(arr, OffsetArray) and id(arr) not in seen:
+                named[arr.name] = arr.data
+        return named, commons
+
+    def _save(self, frame: int, arrays) -> None:
+        trace = self.comm.trace
+        t0 = trace.now()
+        named, commons = self._snapshot(arrays)
+        nbytes = self.checkpoints.save(self.comm.rank, frame, named,
+                                       commons)
+        trace.record(TraceEvent(self.comm.rank, "checkpoint", None,
+                                nbytes, frame, t0=t0, t1=trace.now()))
+
+    def _restore(self, frame: int, arrays) -> None:
+        trace = self.comm.trace
+        t0 = trace.now()
+        state = self.checkpoints.load(self.comm.rank)
+        by_name = {arr.name: arr for arr in arrays
+                   if isinstance(arr, OffsetArray)}
+        nbytes = 0
+        for name, saved in state.arrays.items():
+            target = by_name.get(name)
+            if target is None:
+                raise CheckpointError(
+                    f"rank {self.comm.rank}: checkpointed array {name!r} "
+                    f"is not among the frame hook's arguments")
+            np.copyto(target.data, saved)
+            nbytes += saved.nbytes
+        for (block, pos), saved in state.commons.items():
+            try:
+                slot = self._ctx.commons[block][pos]
+            except (TypeError, KeyError, IndexError):
+                raise CheckpointError(
+                    f"rank {self.comm.rank}: checkpointed COMMON slot "
+                    f"/{block}/[{pos}] does not exist in this program")
+            if isinstance(slot, OffsetArray):
+                np.copyto(slot.data, saved)
+            else:
+                # scalar slot: generated code re-reads through the
+                # commons list, so rebinding the entry is enough
+                self._ctx.commons[block][pos] = saved.item()
+            nbytes += saved.nbytes
+        self._restored = True
+        trace.record(TraceEvent(self.comm.rank, "restore", None, nbytes,
+                                frame, t0=t0, t1=trace.now()))

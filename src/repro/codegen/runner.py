@@ -116,7 +116,9 @@ def _find_common_array(compiled: CompiledProgram, ctx, name: str):
 def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                  input_unit: int = 5, timeout: float = 120.0,
                  spmd_cu: A.CompilationUnit | None = None,
-                 vectorize: bool | None = None) -> ParallelResult:
+                 vectorize: bool | None = None,
+                 injector=None, checkpointer=None,
+                 trace: Trace | None = None) -> ParallelResult:
     """Restructure (unless given), compile, and run the SPMD program.
 
     Args:
@@ -130,6 +132,11 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
             (``None`` follows ``pyback.DEFAULT_VECTORIZE``); halo regions
             stay outside the slices because the restructured loop bounds
             already exclude them.
+        injector: optional :class:`repro.faults.FaultInjector` wired into
+            every rank's sends and frame boundaries.
+        checkpointer: optional :class:`repro.faults.Checkpointer`; frames
+            snapshot at its cadence and restore at its restore frame.
+        trace: optional pre-built trace (shared across recovery attempts).
     """
     if spmd_cu is None:
         spmd_cu = restructure(plan)
@@ -138,7 +145,8 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
     ctxs: list = [None] * nprocs
 
     def body(comm):
-        rt = RankRuntime(comm, plan)
+        rt = RankRuntime(comm, plan, faults=injector,
+                         checkpoints=checkpointer)
         io = IoManager()
         if input_text is not None:
             io.provide_input(input_unit, input_text)
@@ -146,6 +154,7 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                 io.provide_input(5, input_text)
         ctx = compiled.make_ctx(io, rt)
         ctxs[comm.rank] = ctx
+        rt.bind_ctx(ctx)
         fn = compiled.function(compiled.cu.main.name)
         from repro.interp.pyback import _Stop
         try:
@@ -154,7 +163,8 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
             result = {}
         return (result if isinstance(result, dict) else {}, io)
 
-    world = spmd_run(nprocs, body, timeout=timeout)
+    world = spmd_run(nprocs, body, timeout=timeout, trace=trace,
+                     injector=injector)
     rank_values = []
     rank_ios = []
     for rank in range(nprocs):

@@ -43,11 +43,17 @@ class CompileResult:
 
     def run_parallel(self, *, input_text: str | None = None,
                      timeout: float = 120.0,
-                     vectorize: bool | None = None) -> ParallelResult:
-        """Execute the generated SPMD program on the in-process runtime."""
+                     vectorize: bool | None = None,
+                     injector=None, checkpointer=None,
+                     trace=None) -> ParallelResult:
+        """Execute the generated SPMD program on the in-process runtime.
+
+        ``injector`` / ``checkpointer`` plug the :mod:`repro.faults`
+        subsystem into the run (see ``acfd chaos``)."""
         return run_parallel(self.plan, input_text=input_text,
                             timeout=timeout, spmd_cu=self.spmd_cu,
-                            vectorize=vectorize)
+                            vectorize=vectorize, injector=injector,
+                            checkpointer=checkpointer, trace=trace)
 
     def parallel_source(self) -> str:
         """The generated program as free-form Fortran source."""

@@ -68,6 +68,19 @@ class RuntimeDeadlockError(RuntimeCommError):
     the message carries the wait-for cycle and a full blocked-rank snapshot."""
 
 
+class InjectedFaultError(ReproError):
+    """Raised when a :mod:`repro.faults` plan crashes a rank on purpose.
+
+    Deliberately *not* a :class:`RuntimeCommError`: the launcher's
+    root-cause priority must attribute the failure to the injected crash,
+    not to the communication cascade it triggers."""
+
+
+class CheckpointError(ReproError):
+    """Raised by the frame-boundary checkpoint store (missing or
+    unreadable snapshot, no common restart frame across ranks...)."""
+
+
 class InterpError(ReproError):
     """Raised by the Fortran interpreter / Python backend at execution time."""
 

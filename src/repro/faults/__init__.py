@@ -1,0 +1,41 @@
+"""Deterministic fault injection, checkpoint/restart, chaos harness.
+
+The paper assumes a dedicated, well-behaved cluster; this subsystem
+substitutes *injected* adversity so the generated SPMD programs can be
+trusted under the conditions real clusters actually exhibit: delayed,
+dropped, and duplicated messages, slow-rank stragglers, and rank
+crashes.  Faults come from a seeded :class:`FaultPlan` (bitwise
+reproducible), are injected through hooks in the message-passing runtime
+(:mod:`repro.runtime.comm`) and the per-rank adapter
+(:mod:`repro.codegen.rtadapter`), and recovery restarts the world from
+the last frame-boundary checkpoint every rank has written.
+
+The contract the chaos harness (``acfd chaos``) asserts: for every fault
+scenario, a run with recovery enabled produces final grids **bitwise
+identical** to the fault-free run.
+"""
+
+from repro.faults.chaos import ChaosReport, ScenarioResult, run_chaos, run_recovered
+from repro.faults.checkpoint import Checkpointer, CheckpointState, CheckpointStore
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    MESSAGE_FAULTS,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "MESSAGE_FAULTS",
+    "ChaosReport",
+    "Checkpointer",
+    "CheckpointState",
+    "CheckpointStore",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "ScenarioResult",
+    "run_chaos",
+    "run_recovered",
+]

@@ -1,0 +1,163 @@
+"""Frame-boundary checkpointing for SPMD app state.
+
+Each rank snapshots its live state at the top of a frame: the status
+arrays the ``acfd_frame`` hook hands it (by array name) plus every
+COMMON-block slot (arrays and scalars, by block name and position).
+Snapshots are per-rank ``.npz`` files written atomically (tmp +
+``os.replace``), so a crash mid-write never corrupts the last good
+checkpoint.  Recovery restarts the world and restores at the latest
+frame for which *every* rank has a snapshot — earlier frames are
+replayed (cheap: restored ranks cycle straight through them).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+_FILE_RE = re.compile(r"^rank(\d+)_frame(\d+)\.npz$")
+
+#: npz key prefixes: hook-passed arrays / COMMON slots / metadata
+_ARRAY_KEY = "a|"
+_COMMON_KEY = "c|"
+_FRAME_KEY = "__frame__"
+
+
+@dataclass
+class CheckpointState:
+    """One rank's restored snapshot."""
+
+    frame: int
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: (block, slot position) -> array or 0-d scalar
+    commons: dict[tuple[str, int], np.ndarray] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Per-rank frame snapshots in one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def path(self, rank: int, frame: int) -> str:
+        return os.path.join(self.directory,
+                            f"rank{rank:03d}_frame{frame:08d}.npz")
+
+    def save(self, rank: int, frame: int, arrays: dict[str, np.ndarray],
+             commons: dict[tuple[str, int], object], *,
+             keep: int = 2) -> int:
+        """Write one snapshot; returns payload bytes.
+
+        Args:
+            arrays: status arrays keyed by Fortran name.
+            commons: COMMON slots keyed by (block, position); values are
+                ndarrays or python scalars.
+            keep: prune to this many most-recent frames for the rank.
+        """
+        payload: dict[str, np.ndarray] = {
+            _FRAME_KEY: np.asarray(frame, dtype=np.int64)}
+        nbytes = 0
+        for name, data in arrays.items():
+            arr = np.asarray(data)
+            payload[_ARRAY_KEY + name] = arr
+            nbytes += arr.nbytes
+        for (block, pos), value in commons.items():
+            arr = np.asarray(value)
+            payload[f"{_COMMON_KEY}{block}|{pos}"] = arr
+            nbytes += arr.nbytes
+        final = self.path(rank, frame)
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=f".rank{rank:03d}_", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, final)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        if keep > 0:
+            for old in self.frames(rank)[:-keep]:
+                try:
+                    os.unlink(self.path(rank, old))
+                except OSError:
+                    pass
+        return nbytes
+
+    def load(self, rank: int, frame: int) -> CheckpointState:
+        path = self.path(rank, frame)
+        try:
+            with np.load(path) as data:
+                state = CheckpointState(frame=int(data[_FRAME_KEY]))
+                for key in data.files:
+                    if key.startswith(_ARRAY_KEY):
+                        state.arrays[key[len(_ARRAY_KEY):]] = data[key]
+                    elif key.startswith(_COMMON_KEY):
+                        _, block, pos = key.split("|", 2)
+                        state.commons[(block, int(pos))] = data[key]
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no checkpoint for rank {rank} at frame {frame} "
+                f"under {self.directory}") from None
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint {path}: {exc}") from exc
+        return state
+
+    def frames(self, rank: int) -> list[int]:
+        """Frames this rank has snapshots for, ascending."""
+        out = []
+        for entry in os.listdir(self.directory):
+            m = _FILE_RE.match(entry)
+            if m and int(m.group(1)) == rank:
+                out.append(int(m.group(2)))
+        return sorted(out)
+
+    def latest_common_frame(self, size: int) -> int | None:
+        """Latest frame *every* rank of a *size*-world checkpointed, or
+        None when no frame is common (restart from scratch)."""
+        common: set[int] | None = None
+        for rank in range(size):
+            frames = set(self.frames(rank))
+            common = frames if common is None else common & frames
+            if not common:
+                return None
+        return max(common) if common else None
+
+
+class Checkpointer:
+    """One recovery attempt's view of the store.
+
+    ``restore_frame`` is the frame every rank must restore at (None on
+    the first attempt); ``every`` is the checkpoint cadence in frames.
+    """
+
+    def __init__(self, store: CheckpointStore, *, every: int = 1,
+                 keep: int = 2, restore_frame: int | None = None) -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint cadence must be >= 1, "
+                                  f"got {every}")
+        self.store = store
+        self.every = every
+        self.keep = keep
+        self.restore_frame = restore_frame
+
+    def due(self, frame: int) -> bool:
+        """Should frame *frame* (1-based loop value) be checkpointed?"""
+        return (frame - 1) % self.every == 0
+
+    def save(self, rank: int, frame: int, arrays, commons) -> int:
+        return self.store.save(rank, frame, arrays, commons,
+                               keep=self.keep)
+
+    def load(self, rank: int) -> CheckpointState:
+        if self.restore_frame is None:
+            raise CheckpointError("no restore frame set for this attempt")
+        return self.store.load(rank, self.restore_frame)

@@ -1,0 +1,126 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultEvent` records — *what*
+goes wrong, on *which* rank, *when*.  Message faults trigger on a rank's
+n-th point-to-point send (send order is program order per rank, so the
+trigger is deterministic regardless of thread interleaving); frame
+faults trigger at a frame boundary (the ``acfd_frame`` hook the
+restructurer plants at the top of the time loop).
+
+Plans serialize to plain dicts (JSON-able) so a chaos run can be
+replayed exactly from its report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ReproError
+
+#: faults that trigger on a point-to-point send
+MESSAGE_FAULTS = ("drop", "delay", "duplicate")
+
+#: faults that trigger at a frame boundary
+FRAME_FAULTS = ("straggler", "crash")
+
+FAULT_KINDS = MESSAGE_FAULTS + FRAME_FAULTS
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        rank: the afflicted rank.
+        nth: message faults: the rank's n-th send (0-based) triggers.
+        frame: frame faults: the (1-based) frame-loop value that triggers.
+        frames: straggler only — how many consecutive frames run slow.
+        seconds: delay duration / per-frame straggler slowdown.
+    """
+
+    kind: str
+    rank: int
+    nth: int = 0
+    frame: int = 0
+    frames: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(f"unknown fault kind {self.kind!r}; known: "
+                             f"{FAULT_KINDS}")
+
+    def describe(self) -> str:
+        if self.kind in MESSAGE_FAULTS:
+            extra = f" by {self.seconds * 1e3:.0f}ms" \
+                if self.kind == "delay" else ""
+            return f"{self.kind} rank {self.rank}'s send #{self.nth}{extra}"
+        if self.kind == "straggler":
+            return (f"straggler rank {self.rank}: +{self.seconds * 1e3:.0f}"
+                    f"ms/frame for frames {self.frame}.."
+                    f"{self.frame + self.frames - 1}")
+        return f"crash rank {self.rank} at frame {self.frame}"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic set of faults for one run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: int | None = None
+
+    @classmethod
+    def seeded(cls, seed: int, size: int,
+               kinds: tuple[str, ...] = FAULT_KINDS, *,
+               frames: int = 8, sends: int = 30,
+               delay_s: float = 0.05,
+               straggle_s: float = 0.01) -> "FaultPlan":
+        """One event per kind, drawn reproducibly from *seed*.
+
+        Args:
+            seed: RNG seed — same seed, same plan, bit for bit.
+            size: world size (ranks are drawn from ``[0, size)``).
+            kinds: fault kinds to include, in order.
+            frames: frame faults trigger within ``[2, frames]`` (so at
+                least one checkpoint precedes a crash).
+            sends: message faults trigger within the rank's first *sends*
+                sends (keep below the real per-run send count).
+            delay_s: delay fault hold time.
+            straggle_s: straggler per-frame slowdown.
+        """
+        if size < 1:
+            raise ReproError(f"world size must be >= 1, got {size}")
+        rng = random.Random(seed)
+        events = []
+        for kind in kinds:
+            rank = rng.randrange(size)
+            if kind in MESSAGE_FAULTS:
+                events.append(FaultEvent(
+                    kind, rank, nth=rng.randrange(max(1, sends)),
+                    seconds=delay_s if kind == "delay" else 0.0))
+            elif kind == "straggler":
+                frame = rng.randint(1, max(1, frames))
+                events.append(FaultEvent(kind, rank, frame=frame,
+                                         frames=rng.randint(1, 3),
+                                         seconds=straggle_s))
+            else:  # crash
+                events.append(FaultEvent(kind, rank,
+                                         frame=rng.randint(
+                                             2, max(2, frames))))
+        return cls(events=events, seed=seed)
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "events": [asdict(e) for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(events=[FaultEvent(**e) for e in data.get("events", [])],
+                   seed=data.get("seed"))
+
+    def describe(self) -> str:
+        return "; ".join(e.describe() for e in self.events) or "no faults"

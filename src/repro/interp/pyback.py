@@ -251,8 +251,9 @@ class _UnitCompiler:
 
     def funccall(self, e: A.FuncCall) -> str:
         if e.name.startswith("acfd_"):
-            # SPMD runtime primitive injected by the restructurer
-            args = ", ".join(self.expr(a) for a in e.args)
+            # SPMD runtime primitive injected by the restructurer; arrays
+            # pass whole (the frame hook snapshots them by name)
+            args = ", ".join(self.expr_for_call(a) for a in e.args)
             return f"ctx.rt.{e.name[5:]}({args})"
         target = self.all_units.get(e.name)
         if target is not None and target.kind == "function":

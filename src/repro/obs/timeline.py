@@ -39,6 +39,11 @@ LEAF_CATS = {
     "halo_unpack": "halo",
     "send": "send",
     "pipeline_send": "send",
+    # fault-tolerance overhead: injected slowdowns and checkpoint I/O
+    # (repro.faults) — "lost" time the profiler must not book as compute
+    "fault_straggler": "fault",
+    "checkpoint": "fault",
+    "restore": "fault",
 }
 
 #: envelope kinds that *contain* leaf events (never summed into roll-ups)
@@ -56,6 +61,8 @@ class RankBreakdown:
     halo: float = 0.0
     collective: float = 0.0
     send: float = 0.0
+    #: injected-fault slowdowns + checkpoint/restore overhead (lost time)
+    fault: float = 0.0
 
     @property
     def busy(self) -> float:
@@ -70,7 +77,7 @@ class RankBreakdown:
         return {"rank": self.rank, "total": self.total,
                 "compute": self.compute, "blocked": self.blocked,
                 "halo": self.halo, "collective": self.collective,
-                "send": self.send}
+                "send": self.send, "fault": self.fault}
 
 
 @dataclass
@@ -118,15 +125,18 @@ class RunRollup:
 
     def table(self) -> str:
         """Per-rank breakdown table plus the derived health numbers."""
+        # the fault column only appears when some rank lost time to it
+        faulty = any(r.fault > 0.0 for r in self.ranks)
         lines = [f"{'rank':>4s} {'total':>9s} {'compute':>9s} "
                  f"{'blocked':>9s} {'halo':>9s} {'collect':>9s} "
-                 f"{'send':>9s}"]
+                 f"{'send':>9s}" + (f" {'fault':>9s}" if faulty else "")]
         for r in self.ranks:
             lines.append(
                 f"{r.rank:>4d} {r.total * 1e3:>6.1f} ms "
                 f"{r.compute * 1e3:>6.1f} ms {r.blocked * 1e3:>6.1f} ms "
                 f"{r.halo * 1e3:>6.1f} ms {r.collective * 1e3:>6.1f} ms "
-                f"{r.send * 1e3:>6.1f} ms")
+                f"{r.send * 1e3:>6.1f} ms"
+                + (f" {r.fault * 1e3:>6.1f} ms" if faulty else ""))
         ratio = self.comm_compute_ratio
         ratio_s = f"{ratio:.2f}" if ratio != float("inf") else "inf"
         lines.append(f"comm/compute ratio {ratio_s}, load imbalance "
@@ -195,7 +205,7 @@ class Timeline:
                 if part > 0.0:
                     setattr(b, cat, getattr(b, cat) + part)
             b.compute = max(0.0, b.total - b.blocked - b.halo
-                            - b.collective - b.send)
+                            - b.collective - b.send - b.fault)
             ranks.append(b)
         return RunRollup(source=source, ranks=ranks)
 

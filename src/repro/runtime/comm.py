@@ -112,6 +112,9 @@ class _Message:
     source: int
     tag: int
     payload: object
+    #: delivery id for duplicate suppression; only fault-injected
+    #: duplicates carry one (the normal path never allocates ids)
+    msg_id: int | None = None
 
 
 class _WaitState:
@@ -161,6 +164,10 @@ class DeadlockDetector:
         self._failed: threading.Event | None = None
         #: full human-readable deadlock report, set exactly once
         self.diagnosis: str | None = None
+        #: optional () -> int of messages in flight *outside* any mailbox
+        #: (fault-injected delays); while positive, an all-blocked world
+        #: is not a deadlock — a delivery is still coming
+        self.in_flight = None
 
     def attach(self, mailboxes: list[_Mailbox], barrier: threading.Barrier,
                failed: threading.Event) -> None:
@@ -211,6 +218,8 @@ class DeadlockDetector:
         live = [r for r in range(self.size) if r not in self._done]
         if not live or any(r not in self._waiting for r in live):
             return  # someone is still computing — progress is possible
+        if self.in_flight is not None and self.in_flight() > 0:
+            return  # a delayed message is still on the (simulated) wire
         states = [self._waiting[r] for r in live]
         barrier_waits = [ws for ws in states if ws.op == "barrier"]
         if barrier_waits:
@@ -291,9 +300,16 @@ class _Mailbox:
         #: are removed so wildcard matching scans only pending keys.
         self._buckets: dict[tuple[int, int], deque] = {}
         self._seq = 0
+        #: msg_ids already accepted (duplicate suppression); bounded by
+        #: the number of fault-injected duplicates, not by traffic
+        self._seen_ids: set[int] = set()
 
     def put(self, message: _Message) -> None:
         with self._cond:
+            if message.msg_id is not None:
+                if message.msg_id in self._seen_ids:
+                    return  # duplicate delivery: drop silently
+                self._seen_ids.add(message.msg_id)
             self._seq += 1
             key = (message.source, message.tag)
             bucket = self._buckets.get(key)
@@ -445,7 +461,8 @@ class Communicator:
     def __init__(self, rank: int, size: int, mailboxes: list[_Mailbox],
                  barrier: threading.Barrier, trace: Trace,
                  failed: threading.Event, timeout: float = 60.0,
-                 detector: DeadlockDetector | None = None) -> None:
+                 detector: DeadlockDetector | None = None,
+                 injector=None) -> None:
         self.rank = rank
         self.size = size
         self._mailboxes = mailboxes
@@ -454,6 +471,9 @@ class Communicator:
         self._failed = failed
         self._timeout = timeout
         self._detector = detector
+        #: fault injector (repro.faults) intercepting point-to-point
+        #: deliveries; None on the (hot) fault-free path
+        self._injector = injector
         self._collective_seq = 0
         # bound append for the hot-path raw-tuple records; safe to cache
         # because Trace.clear() empties the list in place
@@ -479,7 +499,11 @@ class Communicator:
                 else _payload_bytes(obj)
             self._tappend((self.rank, "send", dest, nbytes, tag,
                            nbytes if move else 0, perf_counter_ns()))
-        self._mailboxes[dest].put(_Message(self.rank, tag, payload))
+        message = _Message(self.rank, tag, payload)
+        if self._injector is not None and self._injector.on_send(
+                self.rank, dest, tag, message, self._mailboxes[dest]):
+            return  # the injector took over delivery (drop/delay/dup)
+        self._mailboxes[dest].put(message)
 
     def recv(self, source: int | None = None, tag: int | None = None):
         """Blocking receive; ``None`` matches any source / any tag."""

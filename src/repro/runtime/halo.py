@@ -55,10 +55,16 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.reused_bytes = 0
+        #: buffers handed out but not yet released (within this world)
+        self.outstanding = 0
+        #: buffers whose receiver never released them, summed over drains
+        self.leaked = 0
+        self.drains = 0
 
     def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(shape), np.dtype(dtype).str)
         with self._lock:
+            self.outstanding += 1
             stack = self._free.get(key)
             if stack:
                 buf = stack.pop()
@@ -73,15 +79,36 @@ class BufferPool:
             return
         key = (buf.shape, buf.dtype.str)
         with self._lock:
+            self.outstanding = max(0, self.outstanding - 1)
             stack = self._free.setdefault(key, [])
             if len(stack) < self._max_per_key:
                 stack.append(buf)
 
+    def drain(self) -> dict:
+        """Empty the pool at world teardown; account unreturned buffers.
+
+        A buffer acquired by a sender whose receiver died (or whose
+        message was dropped) is never released — without draining it is
+        leaked forever and the free lists keep every world's buffers
+        alive.  Returns ``{"pooled_freed": n, "leaked": n}`` and folds
+        the leak count into :meth:`stats`.
+        """
+        with self._lock:
+            pooled = sum(len(s) for s in self._free.values())
+            self._free.clear()
+            leaked = self.outstanding
+            self.leaked += leaked
+            self.outstanding = 0
+            self.drains += 1
+        return {"pooled_freed": pooled, "leaked": leaked}
+
     def stats(self) -> dict:
         with self._lock:
             pooled = sum(len(s) for s in self._free.values())
-        return {"hits": self.hits, "misses": self.misses,
-                "reused_bytes": self.reused_bytes, "pooled": pooled}
+            return {"hits": self.hits, "misses": self.misses,
+                    "reused_bytes": self.reused_bytes, "pooled": pooled,
+                    "outstanding": self.outstanding, "leaks": self.leaked,
+                    "drains": self.drains}
 
 
 #: Default pool shared by every halo exchanger and pipeline transfer.
@@ -152,7 +179,10 @@ class HaloSpec:
             width = d_plus
             face = (lo, lo + width - 1)
         if width == 0:
-            return np.empty(0)
+            # dtype must follow the spec array: aggregated exchanges mix
+            # float and integer status arrays, and a default-float64 empty
+            # would ship a mismatched section for the integer ones
+            return np.empty(0, self.array.data.dtype)
         section = self.array.section(self._ranges(grid_dim, face))
         if pool is None:
             return section.copy()

@@ -12,10 +12,12 @@ waiting for the wall-clock watchdog.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import RuntimeCommError, RuntimeDeadlockError
 from repro.runtime.comm import Communicator, DeadlockDetector, _Mailbox
+from repro.runtime.halo import shared_pool
 from repro.runtime.trace import Trace, TraceEvent
 
 
@@ -29,7 +31,7 @@ class World:
 
 
 def spmd_run(size: int, fn, *, timeout: float = 60.0,
-             trace: Trace | None = None) -> World:
+             trace: Trace | None = None, injector=None) -> World:
     """Run ``fn(comm)`` on *size* ranks and return the finished world.
 
     Args:
@@ -37,13 +39,19 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         fn: rank body; receives a :class:`Communicator`.  Its return value
             is collected into ``world.results[rank]``.
         timeout: per-receive watchdog (seconds) — the backstop; genuine
-            deadlocks are detected and reported much sooner.
+            deadlocks are detected and reported much sooner.  Also the
+            grace period stuck ranks get to unwind after a failure.
         trace: optional shared trace (a fresh one is created if omitted).
+        injector: optional :class:`repro.faults.FaultInjector`; its
+            ``on_send`` hook intercepts point-to-point deliveries and its
+            in-flight count keeps the deadlock detector honest while a
+            delayed message is on the simulated wire.
 
     Raises:
         RuntimeDeadlockError: when the detector proves a deadlock (the
             message names the wait-for cycle).
-        RuntimeCommError: wrapping the first rank failure.
+        RuntimeCommError: wrapping the first rank failure, or naming the
+            ranks that ignored the failure and never stopped.
     """
     if size < 1:
         raise RuntimeCommError(f"world size must be >= 1, got {size}")
@@ -54,12 +62,17 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
     failed = threading.Event()
     detector = DeadlockDetector(size)
     detector.attach(mailboxes, barrier, failed)
+    if injector is not None:
+        detector.in_flight = injector.in_flight
+        injector.attach(world.trace)
     errors: list[tuple[int, BaseException]] = []
-    errors_lock = threading.Lock()
+    # also guards `remaining`; notifies the launcher on every rank exit
+    state = threading.Condition()
+    remaining = [size]
 
     def body(rank: int) -> None:
         comm = Communicator(rank, size, mailboxes, barrier, world.trace,
-                            failed, timeout, detector)
+                            failed, timeout, detector, injector)
         try:
             t0 = world.trace.now()
             world.results[rank] = fn(comm)
@@ -69,19 +82,62 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
                                           t0=t0, t1=world.trace.now()))
             detector.rank_done(rank)
         except BaseException as exc:  # noqa: BLE001 - must propagate all
-            with errors_lock:
+            with state:
                 errors.append((rank, exc))
             failed.set()
             barrier.abort()
             detector.rank_failed(rank)
+        finally:
+            with state:
+                remaining[0] -= 1
+                state.notify_all()
 
     threads = [threading.Thread(target=body, args=(rank,),
                                 name=f"spmd-rank-{rank}", daemon=True)
                for rank in range(size)]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+    # Join discipline: while no rank has failed, wait indefinitely (the
+    # per-receive watchdog and the deadlock detector bound any stall that
+    # involves communication).  Once a rank fails, the rest get the
+    # watchdog deadline to unwind — a rank spinning in compute-only code
+    # never observes `failed`, and an unbounded join would hang the
+    # launcher forever on it.
+    stuck: list[int] = []
+    try:
+        with state:
+            while remaining[0] > 0 and not failed.is_set():
+                state.wait()
+            if remaining[0] > 0:
+                deadline = time.monotonic() + timeout
+                while remaining[0] > 0:
+                    left = deadline - time.monotonic()
+                    if left <= 0:
+                        break
+                    state.wait(left)
+                if remaining[0] > 0:
+                    stuck = [rank for rank, t in enumerate(threads)
+                             if t.is_alive()]
+        for t in threads:
+            if not t.is_alive():
+                t.join()
+    finally:
+        # buffers stranded by dead receivers or dropped messages must not
+        # outlive the world (and pooled arrays must not leak across runs)
+        shared_pool().drain()
+
+    if stuck:
+        first = ""
+        with state:
+            if errors:
+                rank, exc = min(errors, key=lambda e: e[0])
+                first = (f"; first failure: rank {rank}: "
+                         f"{type(exc).__name__}: {exc}")
+        raise RuntimeCommError(
+            f"world failed but rank(s) {', '.join(map(str, stuck))} did "
+            f"not stop within the {timeout}s watchdog — likely spinning "
+            f"in compute-only code that never observes the failure"
+            f"{first}\n{detector.snapshot()}")
 
     if errors:
         # report the root cause: a non-communication error beats a deadlock

@@ -55,6 +55,9 @@ class SimResult:
     working_set: list[int] = field(default_factory=list)
     #: per-phase simulated spans (populated with ``record_timeline=True``)
     spans: list[Span] = field(default_factory=list)
+    #: per-rank time lost to injected faults (straggler slowdowns and
+    #: crash-recovery downtime), when the sim ran with a fault plan
+    fault_time: list[float] = field(default_factory=list)
 
     @property
     def any_oom(self) -> bool:
@@ -73,10 +76,12 @@ class SimResult:
         exchanges land in ``halo``, pipeline stalls in ``blocked``;
         the simulator does not split out pack/send/collective time.
         """
+        fault = self.fault_time or [0.0] * len(self.per_rank)
         ranks = [RankBreakdown(rank=r, total=self.per_rank[r],
                                compute=self.compute_time[r],
                                blocked=self.pipe_wait[r],
-                               halo=self.comm_time[r])
+                               halo=self.comm_time[r],
+                               fault=fault[r])
                  for r in range(len(self.per_rank))]
         return RunRollup(source="simulated", ranks=ranks)
 
@@ -90,8 +95,20 @@ class ClusterSim:
                  chunks: int = 8,
                  schedule: FrameSchedule | None = None,
                  barrier_syncs: bool = True,
-                 record_timeline: bool = False) -> None:
+                 record_timeline: bool = False,
+                 faults=None, checkpoint_every: int = 1,
+                 restart_cost: float = 0.5) -> None:
         self.plan = plan
+        #: optional :class:`repro.faults.FaultPlan` — straggler events add
+        #: their per-frame slowdown, crash events stall the whole world
+        #: for restart + replay-from-checkpoint.  Message faults (drop /
+        #: delay / duplicate) are runtime-level and not modeled here.
+        self.faults = faults
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.restart_cost = restart_cost
+        self._frame_faults = [e for e in faults.events
+                              if e.kind in ("straggler", "crash")] \
+            if faults is not None else []
         #: collect per-phase Spans during the simulated (non-extrapolated)
         #: frames so the predicted timeline can sit next to the observed
         #: one in a Chrome-trace export
@@ -280,10 +297,37 @@ class ClusterSim:
             comm[r] += done - t[r]
             t[r] = done
 
+    def _do_faults(self, frame: int, t: list[float], fault: list[float],
+                   deltas: list[float]) -> None:
+        """Apply frame-boundary fault effects (mirrors the runtime hook)."""
+        steady = deltas[-1] if deltas else 0.0
+        for ev in self._frame_faults:
+            if ev.kind == "straggler" \
+                    and ev.frame <= frame < ev.frame + ev.frames:
+                self._mark(ev.rank, "fault:straggler", "fault",
+                           t[ev.rank], t[ev.rank] + ev.seconds)
+                t[ev.rank] += ev.seconds
+                fault[ev.rank] += ev.seconds
+            elif ev.kind == "crash" and ev.frame == frame:
+                # the world dies and restarts from the last checkpoint:
+                # everyone pays the respawn plus the replayed frames
+                replayed = (frame - 1) % self.checkpoint_every
+                pause = self.restart_cost + replayed * steady
+                done = max(t) + pause
+                for r in range(self.size):
+                    self._mark(r, "fault:crash-recovery", "fault",
+                               t[r], done, frame=frame)
+                    fault[r] += done - t[r]
+                    t[r] = done
+
     # -- main loop --------------------------------------------------------------------
 
     def run(self, frames: int, warmup: int = 24) -> SimResult:
-        """Simulate *frames* frame iterations (steady-state extrapolated)."""
+        """Simulate *frames* frame iterations (steady-state extrapolated).
+
+        With a fault plan attached every frame is simulated explicitly —
+        fault effects are not frame-periodic, so extrapolation would
+        misattribute them."""
         if frames < 1:
             raise SimulationError(f"frames must be >= 1, got {frames}")
         self._spans = []
@@ -291,11 +335,15 @@ class ClusterSim:
         compute = [0.0] * self.size
         comm = [0.0] * self.size
         pipe_wait = [0.0] * self.size
+        fault = [0.0] * self.size
 
-        simulated = min(frames, max(warmup, 2))
+        simulated = frames if self._frame_faults \
+            else min(frames, max(warmup, 2))
         deltas: list[float] = []
         prev_max = 0.0
         for _f in range(simulated):
+            if self._frame_faults:
+                self._do_faults(_f + 1, t, fault, deltas)
             for phase in self.schedule.phases:
                 if isinstance(phase, ComputePhase):
                     self._do_compute(t, compute, pipe_wait, phase)
@@ -332,7 +380,7 @@ class ClusterSim:
                          compute_time=compute, comm_time=comm,
                          pipe_wait=pipe_wait, frames=frames,
                          oom_ranks=oom, working_set=list(self.working_set),
-                         spans=list(self._spans))
+                         spans=list(self._spans), fault_time=fault)
 
 
 def simulate_run(plan: ParallelPlan, frames: int,

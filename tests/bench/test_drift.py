@@ -45,3 +45,14 @@ class TestDriftReport:
         for cat in CATEGORIES:
             assert cat in text
         assert "max drift" in text
+
+
+class TestDegradedDrift:
+    def test_faulted_run_has_a_fault_share_on_both_sides(self):
+        from repro.faults import FaultEvent, FaultPlan
+        plan = FaultPlan(events=[
+            FaultEvent("straggler", 0, frame=2, frames=2, seconds=0.02),
+            FaultEvent("crash", 1, frame=3)], seed=0)
+        report = run_drift(n=40, m=16, iters=4, faults=plan)
+        assert report.categories["fault"]["observed_pct"] > 0.0
+        assert report.categories["fault"]["predicted_pct"] > 0.0

@@ -195,6 +195,48 @@ class TestProfile:
         assert pathlib.Path(expected).exists()
 
 
+class TestChaos:
+    @pytest.mark.chaossmoke
+    def test_quick_crash_scenario_with_report(self, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        assert main(["chaos", "--app", "sprayer", "--seed", "7",
+                     "--scenarios", "crash",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert f"wrote {report}" in out
+        data = json.loads(report.read_text())
+        assert data["ok"] is True
+        assert data["scenarios"][0]["name"] == "crash"
+        assert data["scenarios"][0]["restarts"] >= 1
+
+    @pytest.mark.chaossmoke
+    def test_no_recover_crash_fails_with_rank_attribution(self, capsys):
+        assert main(["chaos", "--app", "sprayer", "--seed", "7",
+                     "--scenarios", "crash", "--no-recover"]) == 1
+        captured = capsys.readouterr()
+        assert "injected crash on rank" in captured.out
+        assert "chaos FAILED: crash" in captured.err
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        assert main(["chaos", "--scenarios", "meteor"]) == 2
+        assert "unknown fault scenario" in capsys.readouterr().err
+
+    @pytest.mark.chaossmoke
+    def test_explicit_source_runs_the_matrix(self, src_file, capsys):
+        assert main(["chaos", src_file, "-p", "2x1", "--seed", "1",
+                     "--scenarios", "straggler", "--frames", "6"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+
+class TestBenchDegraded:
+    def test_degraded_drift_smoke(self, capsys):
+        assert main(["bench", "--drift", "--degraded", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "(degraded)" in out
+        assert "fault" in out
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["report", "/nonexistent.f90", "-p", "2x1"]) == 2

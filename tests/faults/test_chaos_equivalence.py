@@ -1,0 +1,45 @@
+"""Chaos matrix: every injected-fault scenario reproduces the fault-free
+grids bitwise, on both executors (S4 of the equivalence contract)."""
+
+import json
+
+import pytest
+
+from repro.faults import run_chaos
+
+pytestmark = pytest.mark.chaossmoke
+
+
+class TestSprayerMatrix:
+    def test_full_matrix_vector_backend(self, tmp_path):
+        report = run_chaos(app="sprayer", seed=7, workdir=str(tmp_path))
+        assert report.ok, report.table()
+        names = [s.name for s in report.scenarios]
+        assert names == ["drop", "delay", "duplicate", "straggler",
+                         "crash"]
+        for s in report.scenarios:
+            assert s.identical is True
+            assert s.fired, f"{s.name}: planned fault never triggered"
+        by_name = {s.name: s for s in report.scenarios}
+        # a crash always costs at least one restart
+        assert by_name["crash"].restarts >= 1
+
+    def test_scalar_backend_subset(self, tmp_path):
+        # the interpreter executor must honor the same recovery contract
+        report = run_chaos(app="sprayer", seed=7,
+                           scenarios=("drop", "crash"),
+                           vectorize=False, workdir=str(tmp_path))
+        assert report.ok, report.table()
+        assert all(s.identical for s in report.scenarios)
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        report = run_chaos(app="sprayer", seed=3, scenarios=("crash",),
+                           workdir=str(tmp_path))
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["ok"] is True
+        assert data["seed"] == 3
+        sc = data["scenarios"][0]
+        assert sc["name"] == "crash"
+        assert sc["fault_plan"]["seed"] == 3
+        assert sc["restarts"] >= 1
+        assert "identical" in report.table()

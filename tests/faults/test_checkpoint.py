@@ -1,0 +1,83 @@
+"""Checkpoint store: roundtrip fidelity, pruning, common-frame logic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.faults import Checkpointer, CheckpointStore
+
+
+class TestRoundtrip:
+    def test_arrays_and_commons_bitwise(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        v = np.arange(12, dtype=np.float64).reshape(3, 4)
+        flags = np.array([1, 0, 1], dtype=np.int32)
+        store.save(0, 5, {"v": v},
+                   {("blk", 0): 3, ("blk", 1): 2.5, ("blk", 2): flags})
+        state = store.load(0, 5)
+        assert state.frame == 5
+        assert np.array_equal(state.arrays["v"], v)
+        assert state.arrays["v"].dtype == np.float64
+        # scalar commons keep their python type through .item()
+        assert state.commons[("blk", 0)].item() == 3
+        assert isinstance(state.commons[("blk", 0)].item(), int)
+        assert state.commons[("blk", 1)].item() == 2.5
+        assert np.array_equal(state.commons[("blk", 2)], flags)
+        assert state.commons[("blk", 2)].dtype == np.int32
+
+    def test_save_returns_payload_bytes(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        v = np.zeros((4, 4))
+        nbytes = store.save(1, 1, {"v": v}, {})
+        assert nbytes == v.nbytes
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(CheckpointError):
+            store.load(0, 99)
+
+
+class TestPruning:
+    def test_keep_retains_most_recent_per_rank(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for frame in range(1, 6):
+            store.save(0, frame, {"v": np.zeros(2)}, {}, keep=2)
+        assert store.frames(0) == [4, 5]
+
+    def test_pruning_is_per_rank(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(0, 1, {}, {}, keep=1)
+        store.save(1, 7, {}, {}, keep=1)
+        assert store.frames(0) == [1]
+        assert store.frames(1) == [7]
+
+
+class TestCommonFrame:
+    def test_latest_frame_every_rank_has(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for frame in (1, 2, 3):
+            store.save(0, frame, {}, {}, keep=0)
+        for frame in (1, 2):
+            store.save(1, frame, {}, {}, keep=0)
+        assert store.latest_common_frame(2) == 2
+
+    def test_none_when_a_rank_never_checkpointed(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(0, 3, {}, {}, keep=0)
+        assert store.latest_common_frame(2) is None
+
+
+class TestCheckpointer:
+    def test_cadence(self, tmp_path):
+        ck = Checkpointer(CheckpointStore(str(tmp_path)), every=3)
+        assert [ck.due(f) for f in range(1, 8)] == \
+            [True, False, False, True, False, False, True]
+
+    def test_bad_cadence_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(CheckpointStore(str(tmp_path)), every=0)
+
+    def test_load_requires_restore_frame(self, tmp_path):
+        ck = Checkpointer(CheckpointStore(str(tmp_path)))
+        with pytest.raises(CheckpointError):
+            ck.load(0)

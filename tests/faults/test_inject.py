@@ -1,0 +1,132 @@
+"""Fault injection at the communicator layer, in small live worlds."""
+
+import pytest
+
+from repro.errors import RuntimeCommError, RuntimeDeadlockError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.runtime import spmd_run
+
+
+def _plan(*events):
+    return FaultPlan(events=list(events), seed=0)
+
+
+class TestDrop:
+    def test_dropped_message_becomes_a_detected_deadlock(self):
+        injector = FaultInjector(_plan(FaultEvent("drop", 0, nth=0)))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, 42)
+            else:
+                return comm.recv(0)
+
+        # the receiver waits on a message that never arrives; the
+        # detector must prove the stall instead of spinning to the
+        # wall-clock watchdog
+        with pytest.raises(RuntimeDeadlockError):
+            spmd_run(2, body, timeout=10.0, injector=injector)
+        fired = injector.fired()
+        assert [f["kind"] for f in fired] == ["drop"]
+        assert fired[0]["dest"] == 1
+
+    def test_nth_counts_per_rank_sends(self):
+        injector = FaultInjector(_plan(FaultEvent("drop", 0, nth=1)))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "a")
+                comm.send(1, "b")  # this one is eaten
+            else:
+                return comm.recv(0)
+
+        w = spmd_run(2, body, injector=injector)
+        assert w.results[1] == "a"
+        fired = injector.fired()
+        assert len(fired) == 1 and "send #1" in fired[0]["detail"]
+
+
+class TestDelay:
+    def test_delayed_message_arrives_and_run_completes(self):
+        injector = FaultInjector(
+            _plan(FaultEvent("delay", 0, nth=0, seconds=0.05)))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, 7)
+            else:
+                return comm.recv(0)
+
+        w = spmd_run(2, body, injector=injector)
+        assert w.results[1] == 7
+        assert [f["kind"] for f in injector.fired()] == ["delay"]
+        assert injector.in_flight() == 0  # nothing left on the wire
+
+    def test_held_message_is_not_mistaken_for_deadlock(self):
+        # while the message is held the world is all-blocked with empty
+        # mailboxes — exactly what the detector calls a deadlock, unless
+        # it consults the injector's in-flight count
+        injector = FaultInjector(
+            _plan(FaultEvent("delay", 0, nth=0, seconds=0.3)))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "late")
+            return comm.recv(0) if comm.rank == 1 else None
+
+        w = spmd_run(2, body, timeout=10.0, injector=injector)
+        assert w.results[1] == "late"
+
+
+class TestDuplicate:
+    def test_second_copy_suppressed_exactly_once(self):
+        injector = FaultInjector(_plan(FaultEvent("duplicate", 0, nth=0)))
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, "first")
+                comm.send(1, "second")
+            else:
+                return [comm.recv(0), comm.recv(0)]
+
+        w = spmd_run(2, body, injector=injector)
+        # the duplicated copy of "first" must not displace "second"
+        assert w.results[1] == ["first", "second"]
+        assert [f["kind"] for f in injector.fired()] == ["duplicate"]
+
+
+class TestCrashAttribution:
+    def test_crash_names_rank_frame_and_seed(self):
+        plan = FaultPlan(events=[FaultEvent("crash", 1, frame=1)], seed=13)
+        injector = FaultInjector(plan)
+
+        def body(comm):
+            injector.on_frame(comm.rank, 1)
+            comm.barrier()
+
+        with pytest.raises(RuntimeCommError) as exc_info:
+            spmd_run(2, body, timeout=5.0, injector=injector)
+        msg = str(exc_info.value)
+        assert "rank 1 failed" in msg
+        assert "injected crash on rank 1 at frame 1" in msg
+        assert "seed 13" in msg
+
+    def test_crash_fires_once_replay_runs_clean(self):
+        plan = FaultPlan(events=[FaultEvent("crash", 0, frame=1)], seed=0)
+        injector = FaultInjector(plan)
+        with pytest.raises(Exception):
+            injector.on_frame(0, 1)
+        # same injector, same frame — the event is spent
+        assert injector.on_frame(0, 1) == 0.0
+        assert len(injector.fired()) == 1
+
+
+class TestStraggler:
+    def test_straggles_every_frame_in_window_recorded_once(self):
+        plan = FaultPlan(events=[FaultEvent("straggler", 0, frame=2,
+                                            frames=2, seconds=0.01)],
+                         seed=0)
+        injector = FaultInjector(plan)
+        slept = [injector.on_frame(0, f) for f in range(1, 5)]
+        assert slept == [0.0, 0.01, 0.01, 0.0]
+        assert len(injector.fired()) == 1  # one event, one record

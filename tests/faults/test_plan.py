@@ -1,0 +1,72 @@
+"""Fault plans: seeded determinism, bounds, serialization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FAULT_KINDS, MESSAGE_FAULTS, FaultEvent, FaultPlan
+
+
+class TestSeeded:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.seeded(7, 4)
+        b = FaultPlan.seeded(7, 4)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.seeded(1, 4)
+        b = FaultPlan.seeded(2, 4)
+        assert a.to_dict() != b.to_dict()
+
+    def test_one_event_per_kind_in_order(self):
+        plan = FaultPlan.seeded(3, 2)
+        assert [e.kind for e in plan.events] == list(FAULT_KINDS)
+
+    def test_kinds_subset(self):
+        plan = FaultPlan.seeded(0, 2, kinds=("crash",))
+        assert [e.kind for e in plan.events] == ["crash"]
+
+    def test_draw_bounds(self):
+        for seed in range(20):
+            plan = FaultPlan.seeded(seed, 3, frames=6, sends=10)
+            for e in plan.events:
+                assert 0 <= e.rank < 3
+                if e.kind in MESSAGE_FAULTS:
+                    assert 0 <= e.nth < 10
+                elif e.kind == "crash":
+                    # at least one checkpoint precedes every crash
+                    assert 2 <= e.frame <= 6
+                else:
+                    assert 1 <= e.frame <= 6
+                    assert 1 <= e.frames <= 3
+
+    def test_bad_world_size(self):
+        with pytest.raises(ReproError):
+            FaultPlan.seeded(0, 0)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plan = FaultPlan.seeded(11, 4)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again.to_dict() == plan.to_dict()
+        assert again.seed == 11
+
+    def test_json_able(self):
+        import json
+        text = json.dumps(FaultPlan.seeded(5, 2).to_dict())
+        assert FaultPlan.from_dict(json.loads(text)).seed == 5
+
+
+class TestEvents:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            FaultEvent("meteor", 0)
+
+    def test_describe_mentions_the_what_and_where(self):
+        plan = FaultPlan.seeded(9, 4)
+        text = plan.describe()
+        for kind in FAULT_KINDS:
+            assert kind in text
+
+    def test_empty_plan_describe(self):
+        assert FaultPlan().describe() == "no faults"

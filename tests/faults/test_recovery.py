@@ -1,0 +1,75 @@
+"""Checkpoint/restart recovery reproduces fault-free results bitwise."""
+
+import pytest
+
+from repro.core import AutoCFD
+from repro.errors import RuntimeCommError
+from repro.faults import FaultEvent, FaultPlan, run_recovered
+
+from tests.conftest import JACOBI_SRC
+
+
+@pytest.fixture(scope="module")
+def jacobi_2x1():
+    return AutoCFD.from_source(JACOBI_SRC).compile(partition=(2, 1))
+
+
+def _grid_bytes(compiled, result):
+    return {name: result.array(name).data.tobytes()
+            for name in compiled.plan.arrays}
+
+
+class TestCrashRecovery:
+    def test_recovered_run_matches_fault_free_bitwise(self, jacobi_2x1,
+                                                      tmp_path):
+        baseline = _grid_bytes(jacobi_2x1, jacobi_2x1.run_parallel())
+        plan = FaultPlan(events=[FaultEvent("crash", 1, frame=3)], seed=0)
+        result, attempts, injector = run_recovered(
+            jacobi_2x1.plan, jacobi_2x1.spmd_cu, fault_plan=plan,
+            ckpt_dir=str(tmp_path), timeout=30.0)
+        assert _grid_bytes(jacobi_2x1, result) == baseline
+        # one dead world, one clean finish
+        assert len(attempts) == 2
+        assert "injected crash on rank 1 at frame 3" in attempts[0].error
+        assert attempts[1].error is None
+        assert [f["kind"] for f in injector.fired()] == ["crash"]
+
+    def test_no_recover_fails_loudly_with_rank_attribution(self, jacobi_2x1,
+                                                           tmp_path):
+        plan = FaultPlan(events=[FaultEvent("crash", 0, frame=2)], seed=4)
+        with pytest.raises(RuntimeCommError) as exc_info:
+            run_recovered(jacobi_2x1.plan, jacobi_2x1.spmd_cu,
+                          fault_plan=plan, ckpt_dir=str(tmp_path),
+                          recover=False, timeout=30.0)
+        msg = str(exc_info.value)
+        assert "rank 0 failed" in msg
+        assert "injected crash on rank 0 at frame 2 (plan seed 4)" in msg
+
+
+class TestStragglerRecovery:
+    def test_straggler_run_completes_identical_without_restart(
+            self, jacobi_2x1, tmp_path):
+        baseline = _grid_bytes(jacobi_2x1, jacobi_2x1.run_parallel())
+        plan = FaultPlan(events=[FaultEvent("straggler", 0, frame=2,
+                                            frames=2, seconds=0.1)],
+                         seed=0)
+        result, attempts, injector = run_recovered(
+            jacobi_2x1.plan, jacobi_2x1.spmd_cu, fault_plan=plan,
+            ckpt_dir=str(tmp_path), timeout=30.0)
+        assert _grid_bytes(jacobi_2x1, result) == baseline
+        assert len(attempts) == 1  # slow is not dead
+        # lost time lands in the timeline's fault account: both ranks
+        # pay checkpoint overhead, only rank 0 pays the straggle on top
+        roll = result.rollup()
+        assert roll.ranks[0].fault > roll.ranks[1].fault > 0.0
+
+
+class TestCadence:
+    def test_sparse_checkpoints_still_recover(self, jacobi_2x1, tmp_path):
+        baseline = _grid_bytes(jacobi_2x1, jacobi_2x1.run_parallel())
+        plan = FaultPlan(events=[FaultEvent("crash", 0, frame=5)], seed=0)
+        result, attempts, _ = run_recovered(
+            jacobi_2x1.plan, jacobi_2x1.spmd_cu, fault_plan=plan,
+            ckpt_dir=str(tmp_path), every=3, timeout=30.0)
+        assert _grid_bytes(jacobi_2x1, result) == baseline
+        assert len(attempts) == 2

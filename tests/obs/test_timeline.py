@@ -73,6 +73,25 @@ class TestRollup:
         assert roll.load_imbalance == 1.0
         assert roll.comm_compute_ratio == float("inf")
 
+    def test_fault_events_get_their_own_category(self):
+        tr = Trace()
+        tr.record(_ev(0, "rank", 0.0, 10.0))
+        tr.record(_ev(0, "fault_straggler", 1.0, 2.0))
+        tr.record(_ev(0, "checkpoint", 3.0, 3.5, tag=2))
+        tr.record(_ev(0, "restore", 4.0, 4.5, tag=2))
+        roll = Timeline.from_trace(tr).rollup()
+        r0 = roll.ranks[0]
+        assert r0.fault == pytest.approx(2.0)
+        # lost time must not masquerade as compute
+        assert r0.compute == pytest.approx(8.0)
+        assert roll.as_dict()["ranks"][0]["fault"] == pytest.approx(2.0)
+        assert "fault" in roll.table()
+
+    def test_fault_column_hidden_when_clean(self):
+        roll = Timeline.from_trace(_two_rank_trace()).rollup()
+        assert all(r.fault == 0.0 for r in roll.ranks)
+        assert "fault" not in roll.table()
+
     def test_as_dict_and_table(self):
         roll = Timeline.from_trace(_two_rank_trace()).rollup()
         d = roll.as_dict()

@@ -150,13 +150,60 @@ class TestZeroCopyPool:
         b = pool.acquire((4, 3), np.float64)
         assert b is a
         assert pool.stats() == {"hits": 1, "misses": 1,
-                                "reused_bytes": a.nbytes, "pooled": 0}
+                                "reused_bytes": a.nbytes, "pooled": 0,
+                                "outstanding": 1, "leaks": 0, "drains": 0}
         # different shape or dtype must not alias
         c = pool.acquire((3, 4), np.float64)
         assert c is not a
         pool.release(b)
         d = pool.acquire((4, 3), np.float32)
         assert d is not b
+
+
+class TestMixedDtype:
+    def test_zero_width_face_keeps_spec_dtype(self):
+        # a default-float64 empty here ships a mismatched section when
+        # integer status arrays ride in an aggregated exchange
+        a = OffsetArray((6,), dtype=np.int32, name="s")
+        spec = HaloSpec(a, (0,), ((1, 6),), ((1, 0),))
+        face = spec.send_section(0, -1)  # plus-distance 0: empty face
+        assert face.size == 0
+        assert face.dtype == np.int32
+
+    def test_mixed_dtype_aggregated_exchange(self):
+        # one float and one integer array in the same exchanger, with an
+        # asymmetric distance so zero-width faces actually travel
+        grid_shape, dims, dist = (12,), (2,), (2, 0)
+        grid = GridGeometry(grid_shape)
+        part = Partition(grid, dims)
+        ref_f = global_field(grid_shape)
+        ref_i = OffsetArray(grid_shape, dtype=np.int64)
+        ref_i.data[:] = np.arange(grid_shape[0]) * 7 + 1
+        ghosts = GhostSpec((dist,))
+
+        def body(comm):
+            cart = CartComm(comm, dims)
+            sub = part.subgrid(comm.rank)
+            bounds = ghost_bounds(part, comm.rank, (0,),
+                                  [(1, grid_shape[0])], ghosts)
+            lf = OffsetArray.from_bounds(bounds, name="f")
+            li = OffsetArray.from_bounds(bounds, dtype=np.int64, name="s")
+            lf.set_section(list(sub.owned),
+                           ref_f.section(list(sub.owned)))
+            li.set_section(list(sub.owned),
+                           ref_i.section(list(sub.owned)))
+            specs = [HaloSpec(a, (0,), sub.owned, (dist,))
+                     for a in (lf, li)]
+            HaloExchanger(cart, specs).exchange()
+            assert li.data.dtype == np.int64
+            assert np.array_equal(lf.section(lf.bounds),
+                                  ref_f.section(lf.bounds))
+            assert np.array_equal(li.section(li.bounds),
+                                  ref_i.section(li.bounds))
+            return True
+
+        w = spmd_run(2, body)
+        assert all(w.results)
 
 
 class TestErrors:

@@ -1,0 +1,101 @@
+"""World teardown discipline: the launcher must never hang on a stuck
+rank, and pooled halo buffers must not leak across worlds."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeCommError
+from repro.runtime import BufferPool, spmd_run
+from repro.runtime.halo import shared_pool
+
+
+class TestWatchdog:
+    def test_stuck_compute_rank_is_named_not_joined_forever(self):
+        # rank 1 spins in compute-only code and never observes the
+        # failure; before the watchdog join discipline this hung the
+        # launcher (and the whole process) indefinitely
+        release = threading.Event()
+
+        def body(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            while not release.is_set():
+                time.sleep(0.005)
+
+        try:
+            with pytest.raises(RuntimeCommError) as exc_info:
+                spmd_run(2, body, timeout=1.0)
+        finally:
+            release.set()
+        msg = str(exc_info.value)
+        assert "rank(s) 1" in msg
+        assert "did not stop" in msg
+        # the root cause still gets top billing
+        assert "rank 0" in msg and "ValueError: boom" in msg
+
+    def test_clean_world_does_not_wait_for_the_watchdog(self):
+        t0 = time.monotonic()
+        w = spmd_run(2, lambda comm: comm.rank, timeout=60.0)
+        assert w.results == [0, 1]
+        assert time.monotonic() - t0 < 30.0
+
+    def test_fast_failure_propagates_before_the_deadline(self):
+        def body(comm):
+            if comm.rank == 0:
+                raise RuntimeError("quick")
+            comm.barrier()
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeCommError, match="quick"):
+            spmd_run(2, body, timeout=60.0)
+        # both ranks unwound promptly; no 60 s join
+        assert time.monotonic() - t0 < 30.0
+
+
+class TestPoolDrain:
+    def test_drain_frees_pooled_and_counts_leaks(self):
+        pool = BufferPool()
+        a = pool.acquire((8,), np.float64)
+        b = pool.acquire((8,), np.float64)
+        pool.release(a)
+        assert pool.drain() == {"pooled_freed": 1, "leaked": 1}
+        stats = pool.stats()
+        assert stats["pooled"] == 0
+        assert stats["outstanding"] == 0
+        assert stats["leaks"] == 1
+        assert stats["drains"] == 1
+        # drained buffers are really gone: next acquire is a fresh miss
+        c = pool.acquire((8,), np.float64)
+        assert c is not a and c is not b
+
+    def test_world_teardown_drains_the_shared_pool(self):
+        pool = shared_pool()
+        before = pool.stats()
+
+        def body(comm):
+            pool.acquire((16,), np.float64)  # receiver never releases
+            return True
+
+        w = spmd_run(2, body)
+        assert all(w.results)
+        after = pool.stats()
+        assert after["drains"] >= before["drains"] + 1
+        assert after["outstanding"] == 0
+        assert after["pooled"] == 0
+        assert after["leaks"] >= before["leaks"] + 2
+
+    def test_failed_world_still_drains(self):
+        pool = shared_pool()
+        before = pool.stats()["drains"]
+
+        def body(comm):
+            pool.acquire((4,), np.float64)
+            raise RuntimeError("die")
+
+        with pytest.raises(RuntimeCommError):
+            spmd_run(2, body, timeout=5.0)
+        assert pool.stats()["drains"] >= before + 1
+        assert pool.stats()["outstanding"] == 0

@@ -92,6 +92,46 @@ class TestExtrapolation:
             assert parts == pytest.approx(s.per_rank[r], rel=0.05)
 
 
+class TestFaultModeling:
+    def _plan(self, *events):
+        from repro.faults import FaultEvent, FaultPlan
+        return FaultPlan(events=[FaultEvent(*e[:2], **e[2]) for e in events],
+                         seed=0)
+
+    def test_straggler_charges_the_afflicted_rank(self):
+        plan = self._plan(("straggler", 1, dict(frame=2, frames=3,
+                                                seconds=0.2)))
+        clean = sim_for(JACOBI_SRC, (2, 1)).run(10)
+        hurt = sim_for(JACOBI_SRC, (2, 1), faults=plan).run(10)
+        assert hurt.fault_time[1] == pytest.approx(0.6, rel=0.01)
+        assert hurt.fault_time[0] == 0.0
+        assert hurt.total_time > clean.total_time
+
+    def test_crash_stalls_the_whole_world(self):
+        plan = self._plan(("crash", 0, dict(frame=4)))
+        sim = sim_for(JACOBI_SRC, (2, 1), faults=plan, restart_cost=1.0,
+                      record_timeline=True)
+        out = sim.run(10)
+        # restart + replay downtime is global: every rank loses time
+        assert all(f >= 1.0 for f in out.fault_time)
+        assert any(s.cat == "fault" for s in out.spans)
+
+    def test_faulted_runs_are_never_extrapolated(self):
+        plan = self._plan(("straggler", 0, dict(frame=90, frames=1,
+                                                seconds=0.5)))
+        # a fault in the extrapolated tail must still be simulated
+        out = sim_for(JACOBI_SRC, (2, 1), faults=plan).run(100)
+        assert out.fault_time[0] == pytest.approx(0.5, rel=0.01)
+
+    def test_rollup_carries_the_fault_column(self):
+        plan = self._plan(("straggler", 0, dict(frame=1, frames=2,
+                                                seconds=0.1)))
+        out = sim_for(JACOBI_SRC, (2, 1), faults=plan).run(6)
+        roll = out.rollup()
+        assert roll.ranks[0].fault == pytest.approx(0.2, rel=0.01)
+        assert roll.ranks[1].fault == 0.0
+
+
 class TestResultHelpers:
     def test_speedup_and_efficiency(self):
         s = sim_for(JACOBI_SRC, (2, 1)).run(30)
