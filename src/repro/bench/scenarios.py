@@ -168,6 +168,115 @@ def runtime_collectives():
                 world.trace.comm_stats()["collective_bytes"]}
 
 
+# -- runtime: process executor -----------------------------------------------------
+#
+# The same microbenchmarks on one-OS-process-per-rank workers, so every
+# BENCH record carries thread-vs-process numbers side by side.  Rank
+# bodies are module-level (the process executor pickles them).  The
+# ``compute_bound`` pair is the paper's motivating case: pure-Python
+# arithmetic holds the GIL, so rank threads serialize while rank
+# processes overlap — on a multi-core host the process variant's wall
+# time approaches 1/ranks of the thread variant's (on a single core the
+# two are expected to tie; the BENCH record keeps both so the ratio is
+# always visible next to the host's core count).
+
+def _proc_pingpong_body(rounds: int, comm):
+    payload = np.zeros(2048, dtype=np.float32)
+    if comm.rank == 0:
+        for _ in range(rounds):
+            comm.send(1, payload, tag=7)
+            comm.recv(source=1, tag=7)
+    else:
+        for _ in range(rounds):
+            obj = comm.recv(source=0, tag=7)
+            comm.send(0, obj, tag=7)
+
+
+def _proc_halo_body(rounds: int, comm):
+    dims = (2, 2)
+    part = Partition(GridGeometry((96, 96)), dims)
+    ghosts = GhostSpec(((1, 1), (1, 1)))
+    cart = CartComm(comm, dims)
+    sub = part.subgrid(comm.rank)
+    bounds = ghost_bounds(part, comm.rank, (0, 1), [(1, 96), (1, 96)],
+                          ghosts)
+    local = OffsetArray.from_bounds(bounds, name="v")
+    spec = HaloSpec(local, (0, 1), sub.owned, ((1, 1), (1, 1)))
+    ex = HaloExchanger(cart, [spec])
+    for _ in range(rounds):
+        ex.exchange()
+
+
+def _proc_collectives_body(rounds: int, comm):
+    acc = 0.0
+    for i in range(rounds):
+        acc += comm.allreduce(float(comm.rank + i))
+        comm.bcast(acc if comm.rank == 0 else None, root=0)
+    return acc
+
+
+def _compute_body(iters: int, comm):
+    # deliberately GIL-holding Python-loop arithmetic (NOT numpy, which
+    # releases the GIL and would make threads look falsely parallel)
+    acc = 0.0
+    x = 1.0 + comm.rank * 1e-9
+    for i in range(iters):
+        x = x * 1.0000001
+        acc += x + (i & 7)
+        if x > 2.0:
+            x -= 1.0
+    comm.barrier()
+    return acc
+
+
+_COMPUTE_ITERS = 150_000
+
+
+@scenario("runtime.ping_pong_proc", tags=("runtime", "proc"))
+def runtime_ping_pong_proc():
+    """runtime.ping_pong on the process executor (pickled payloads)."""
+    rounds = 200
+    world = spmd_run(2, functools.partial(_proc_pingpong_body, rounds),
+                     executor="process")
+    return {"roundtrips": rounds,
+            "bytes_sent": world.trace.comm_stats()["bytes_sent"]}
+
+
+@scenario("runtime.halo_exchange_proc", tags=("runtime", "proc"))
+def runtime_halo_exchange_proc():
+    """runtime.halo_exchange on the process executor (shm move path)."""
+    rounds = 20
+    world = spmd_run(4, functools.partial(_proc_halo_body, rounds),
+                     executor="process")
+    return {"exchanges": world.trace.count("exchange")}
+
+
+@scenario("runtime.collectives_proc", tags=("runtime", "proc"))
+def runtime_collectives_proc():
+    """runtime.collectives on the process executor."""
+    rounds = 100
+    world = spmd_run(4, functools.partial(_proc_collectives_body, rounds),
+                     executor="process")
+    return {"rounds": rounds,
+            "collective_bytes":
+                world.trace.comm_stats()["collective_bytes"]}
+
+
+@scenario("runtime.compute_bound", tags=("runtime", "proc"))
+def runtime_compute_bound():
+    """4 GIL-holding compute ranks on threads (they serialize)."""
+    spmd_run(4, functools.partial(_compute_body, _COMPUTE_ITERS))
+    return {"ranks": 4, "iters": _COMPUTE_ITERS}
+
+
+@scenario("runtime.compute_bound_proc", tags=("runtime", "proc"))
+def runtime_compute_bound_proc():
+    """The same 4 compute ranks on processes (they overlap)."""
+    spmd_run(4, functools.partial(_compute_body, _COMPUTE_ITERS),
+             executor="process")
+    return {"ranks": 4, "iters": _COMPUTE_ITERS}
+
+
 # -- pyback ------------------------------------------------------------------------
 
 @scenario("pyback.scalar_frames", tags=("pyback",))

@@ -147,7 +147,8 @@ def cmd_run(args) -> int:
           f"({result.report.vector_loops} loops vectorized, "
           f"{result.report.fallback_loops} scalar fallbacks)")
     seq = acfd.run_sequential(input_text=input_text, vectorize=vec)
-    par = result.run_parallel(input_text=input_text, vectorize=vec)
+    par = result.run_parallel(input_text=input_text, vectorize=vec,
+                              executor=args.executor)
     print(f"sequential output: {seq.io.output()}")
     print(f"parallel output:   {par.output()}")
     ok = True
@@ -213,7 +214,8 @@ def cmd_profile(args) -> int:
           f"{result.report.fallback_loops} scalar fallbacks)")
 
     print("\n== parallel run (observed) ==")
-    par = result.run_parallel(input_text=input_text, vectorize=vec)
+    par = result.run_parallel(input_text=input_text, vectorize=vec,
+                              executor=args.executor)
     rollup = par.rollup()
     print(rollup.table())
     frames = par.timeline().frames()
@@ -272,7 +274,8 @@ def cmd_chaos(args) -> int:
                        seed=args.seed, scenarios=scenarios,
                        recover=not args.no_recover,
                        max_restarts=args.max_restarts, every=args.every,
-                       full=args.full, timeout=args.timeout)
+                       full=args.full, timeout=args.timeout,
+                       executor=args.executor)
     print(report.table())
     if args.report:
         with open(args.report, "w", encoding="utf-8") as fh:
@@ -380,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference translation")
     p.add_argument("--trace-out", metavar="FILE",
                    help="write a Chrome-trace/Perfetto JSON of the run")
+    p.add_argument("--executor", choices=("thread", "process"),
+                   default="thread",
+                   help="rank executor: in-process threads (default) or "
+                        "one OS process per rank (true parallelism)")
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the run's metrics registry as Prometheus "
                         "text exposition")
@@ -410,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="FILE",
                    help="Chrome-trace JSON path (default: "
                         "<source>.trace.json)")
+    p.add_argument("--executor", choices=("thread", "process"),
+                   default="thread",
+                   help="rank executor: in-process threads (default) or "
+                        "one OS process per rank (true parallelism)")
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the run's metrics registry as Prometheus "
                         "text exposition")
@@ -497,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "quick deck")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="per-attempt receive watchdog (seconds)")
+    p.add_argument("--executor", choices=("thread", "process"),
+                   default="thread",
+                   help="rank executor: in-process threads (default) or "
+                        "one OS process per rank — injected crashes "
+                        "become real worker deaths (SIGKILL)")
     p.add_argument("--report", metavar="FILE",
                    help="write the chaos report as JSON")
     p.set_defaults(fn=cmd_chaos)

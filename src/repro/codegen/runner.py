@@ -8,6 +8,9 @@ so tests can compare against the sequential run bitwise.
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -113,12 +116,82 @@ def _find_common_array(compiled: CompiledProgram, ctx, name: str):
     return None
 
 
+def _merge_commons(compiled: CompiledProgram, ctx, plan: ParallelPlan,
+                   values: dict) -> dict:
+    """COMMON status arrays are not in the main unit's value dict; merge
+    them in from the rank's context so stitching sees every array."""
+    for name in plan.arrays:
+        if name not in values or not isinstance(values.get(name),
+                                                OffsetArray):
+            arr = _find_common_array(compiled, ctx, name)
+            if arr is not None:
+                values = dict(values)
+                values[name] = arr
+    return values
+
+
+def _exec_rank(compiled: CompiledProgram, plan: ParallelPlan,
+               input_text: str | None, input_unit: int, injector,
+               checkpointer, comm):
+    """One rank's program execution (shared by both executors)."""
+    rt = RankRuntime(comm, plan, faults=injector,
+                     checkpoints=checkpointer)
+    io = IoManager()
+    if input_text is not None:
+        io.provide_input(input_unit, input_text)
+        if input_unit != 5:
+            io.provide_input(5, input_text)
+    ctx = compiled.make_ctx(io, rt)
+    rt.bind_ctx(ctx)
+    fn = compiled.function(compiled.cu.main.name)
+    from repro.interp.pyback import _Stop
+    try:
+        result = fn(ctx)
+    except _Stop:
+        result = {}
+    return (result if isinstance(result, dict) else {}), io, ctx
+
+
+def _proc_rank_body(blob: bytes, comm):
+    """Module-level (picklable) rank body for the process executor.
+
+    Compilation happens inside the worker, cached on the communicator's
+    worker-persistent ``compiled_cache`` keyed by the program blob's
+    digest — recovery attempts and repeat runs of the same deck skip
+    recompilation.  COMMON status arrays are merged into the value dict
+    *before* returning, because the worker's contexts are unreachable
+    once the process boundary is crossed.
+    """
+    cu_blob, plan, input_text, input_unit, ckpt = pickle.loads(blob)
+    cache = getattr(comm, "compiled_cache", None)
+    if cache is None:
+        cache = comm.compiled_cache = {}
+    key = hashlib.sha1(cu_blob).hexdigest()
+    compiled = cache.get(key)
+    if compiled is None:
+        spmd_cu, vectorize = pickle.loads(cu_blob)
+        compiled = cache[key] = compile_unit(spmd_cu,
+                                             vectorize=vectorize)
+    checkpointer = None
+    if ckpt is not None:
+        from repro.faults.checkpoint import Checkpointer, CheckpointStore
+        # scope the orphan sweep to this rank: peers may be mid-write
+        store = CheckpointStore(ckpt["dir"], sweep_rank=comm.rank)
+        checkpointer = Checkpointer(store, every=ckpt["every"],
+                                    keep=ckpt["keep"],
+                                    restore_frame=ckpt["restore_frame"])
+    values, io, ctx = _exec_rank(compiled, plan, input_text, input_unit,
+                                 comm._injector, checkpointer, comm)
+    return _merge_commons(compiled, ctx, plan, values), io
+
+
 def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                  input_unit: int = 5, timeout: float = 120.0,
                  spmd_cu: A.CompilationUnit | None = None,
                  vectorize: bool | None = None,
                  injector=None, checkpointer=None,
-                 trace: Trace | None = None) -> ParallelResult:
+                 trace: Trace | None = None,
+                 executor: str = "thread") -> ParallelResult:
     """Restructure (unless given), compile, and run the SPMD program.
 
     Args:
@@ -137,47 +210,52 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
         checkpointer: optional :class:`repro.faults.Checkpointer`; frames
             snapshot at its cadence and restore at its restore frame.
         trace: optional pre-built trace (shared across recovery attempts).
+        executor: ``"thread"`` (default, in-process) or ``"process"``
+            (one OS process per rank — true parallelism; the program,
+            plan, and I/O are pickled to the workers and compiled there,
+            cached per worker across runs).
     """
     if spmd_cu is None:
         spmd_cu = restructure(plan)
-    compiled = compile_unit(spmd_cu, vectorize=vectorize)
     nprocs = plan.partition.size
+
+    if executor == "process":
+        ckpt = None
+        if checkpointer is not None:
+            ckpt = {"dir": checkpointer.store.directory,
+                    "every": checkpointer.every,
+                    "keep": checkpointer.keep,
+                    "restore_frame": checkpointer.restore_frame}
+        cu_blob = pickle.dumps((spmd_cu, vectorize))
+        blob = pickle.dumps((cu_blob, plan, input_text, input_unit,
+                             ckpt))
+        world = spmd_run(nprocs, functools.partial(_proc_rank_body, blob),
+                         timeout=timeout, trace=trace, injector=injector,
+                         executor="process")
+        rank_values = [values for values, _io in world.results]
+        rank_ios = [io for _values, io in world.results]
+        arrays = _stitch(plan, rank_values)
+        return ParallelResult(plan=plan, world=world, spmd_cu=spmd_cu,
+                              arrays=arrays, rank_values=rank_values,
+                              io=rank_ios[0])
+
+    compiled = compile_unit(spmd_cu, vectorize=vectorize)
     ctxs: list = [None] * nprocs
 
     def body(comm):
-        rt = RankRuntime(comm, plan, faults=injector,
-                         checkpoints=checkpointer)
-        io = IoManager()
-        if input_text is not None:
-            io.provide_input(input_unit, input_text)
-            if input_unit != 5:
-                io.provide_input(5, input_text)
-        ctx = compiled.make_ctx(io, rt)
+        values, io, ctx = _exec_rank(compiled, plan, input_text,
+                                     input_unit, injector, checkpointer,
+                                     comm)
         ctxs[comm.rank] = ctx
-        rt.bind_ctx(ctx)
-        fn = compiled.function(compiled.cu.main.name)
-        from repro.interp.pyback import _Stop
-        try:
-            result = fn(ctx)
-        except _Stop:
-            result = {}
-        return (result if isinstance(result, dict) else {}, io)
+        return values, io
 
     world = spmd_run(nprocs, body, timeout=timeout, trace=trace,
-                     injector=injector)
+                     injector=injector, executor=executor)
     rank_values = []
     rank_ios = []
     for rank in range(nprocs):
         values, io = world.results[rank]
-        # COMMON status arrays are not in the main unit's value dict; pull
-        # them from the rank's context
-        for name in plan.arrays:
-            if name not in values or not isinstance(values.get(name),
-                                                    OffsetArray):
-                arr = _find_common_array(compiled, ctxs[rank], name)
-                if arr is not None:
-                    values = dict(values)
-                    values[name] = arr
+        values = _merge_commons(compiled, ctxs[rank], plan, values)
         rank_values.append(values)
         rank_ios.append(io)
     arrays = _stitch(plan, rank_values)

@@ -45,15 +45,19 @@ class CompileResult:
                      timeout: float = 120.0,
                      vectorize: bool | None = None,
                      injector=None, checkpointer=None,
-                     trace=None) -> ParallelResult:
-        """Execute the generated SPMD program on the in-process runtime.
+                     trace=None,
+                     executor: str = "thread") -> ParallelResult:
+        """Execute the generated SPMD program on the runtime.
 
         ``injector`` / ``checkpointer`` plug the :mod:`repro.faults`
-        subsystem into the run (see ``acfd chaos``)."""
+        subsystem into the run (see ``acfd chaos``); ``executor``
+        selects in-process rank threads (default) or one OS process per
+        rank (``"process"`` — true parallelism)."""
         return run_parallel(self.plan, input_text=input_text,
                             timeout=timeout, spmd_cu=self.spmd_cu,
                             vectorize=vectorize, injector=injector,
-                            checkpointer=checkpointer, trace=trace)
+                            checkpointer=checkpointer, trace=trace,
+                            executor=executor)
 
     def parallel_source(self) -> str:
         """The generated program as free-form Fortran source."""

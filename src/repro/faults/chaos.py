@@ -117,6 +117,7 @@ def run_recovered(plan: ParallelPlan, spmd_cu: A.CompilationUnit | None,
                   input_text: str | None = None, recover: bool = True,
                   max_restarts: int = 3, every: int = 1, keep: int = 4,
                   timeout: float = 60.0, vectorize: bool | None = None,
+                  executor: str = "thread",
                   ) -> tuple[ParallelResult, list[AttemptLog],
                              FaultInjector]:
     """Run under *fault_plan*, restarting from checkpoints until done.
@@ -145,7 +146,7 @@ def run_recovered(plan: ParallelPlan, spmd_cu: A.CompilationUnit | None,
             result = run_parallel(plan, input_text=input_text,
                                   timeout=timeout, spmd_cu=spmd_cu,
                                   vectorize=vectorize, injector=injector,
-                                  checkpointer=ck)
+                                  checkpointer=ck, executor=executor)
         except RuntimeCommError as exc:
             attempts.append(AttemptLog(restore, time.perf_counter() - t0,
                                        f"{type(exc).__name__}: {exc}"))
@@ -190,7 +191,8 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
               recover: bool = True, max_restarts: int = 3,
               every: int = 1, full: bool = False,
               timeout: float = 60.0, vectorize: bool | None = None,
-              workdir: str | None = None) -> ChaosReport:
+              workdir: str | None = None,
+              executor: str = "thread") -> ChaosReport:
     """Run the fault matrix and compare every scenario to fault-free.
 
     Args:
@@ -206,6 +208,10 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
             then fail loudly with rank attribution instead of retrying).
         full: built-in apps at paper scale instead of the quick deck.
         workdir: parent directory for per-scenario checkpoint dirs.
+        executor: ``"thread"`` or ``"process"`` — on the process
+            executor an injected crash is a real worker death
+            (``SIGKILL``), so recovery is exercised against the genuine
+            failure mode, not a simulated exception.
     """
     from repro.core.pipeline import AutoCFD
     if source is None:
@@ -218,7 +224,8 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
 
     t0 = time.perf_counter()
     baseline = compiled.run_parallel(input_text=input_text,
-                                     timeout=timeout, vectorize=vectorize)
+                                     timeout=timeout, vectorize=vectorize,
+                                     executor=executor)
     report = ChaosReport(app=app, partition=tuple(partition), seed=seed,
                          baseline_wall_s=time.perf_counter() - t0)
     base_bytes = {name: baseline.array(name).data.tobytes()
@@ -240,7 +247,8 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
                     fault_plan=fault_plan, ckpt_dir=ckpt_dir,
                     input_text=input_text, recover=recover,
                     max_restarts=max_restarts, every=every,
-                    timeout=timeout, vectorize=vectorize)
+                    timeout=timeout, vectorize=vectorize,
+                    executor=executor)
                 fired = injector.fired()
             except ReproError as exc:
                 error = f"{type(exc).__name__}: {exc}"

@@ -23,6 +23,9 @@ from repro.errors import CheckpointError
 
 _FILE_RE = re.compile(r"^rank(\d+)_frame(\d+)\.npz$")
 
+#: in-flight atomic-write droppings (see :meth:`CheckpointStore.save`)
+_TMP_RE = re.compile(r"^\.rank\d+_.*\.tmp$")
+
 #: npz key prefixes: hook-passed arrays / COMMON slots / metadata
 _ARRAY_KEY = "a|"
 _COMMON_KEY = "c|"
@@ -42,9 +45,42 @@ class CheckpointState:
 class CheckpointStore:
     """Per-rank frame snapshots in one directory."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, *, sweep_rank: int | None = None
+                 ) -> None:
+        """Attach to (and create) a checkpoint directory.
+
+        Args:
+            sweep_rank: restrict the stale-tmp sweep to one rank's
+                files.  A process-executor worker attaches while its
+                peers may be mid-write, so it must only sweep its own
+                orphans; the launcher (no attempt running) sweeps all.
+        """
         self.directory = str(directory)
         os.makedirs(self.directory, exist_ok=True)
+        self.swept = self._sweep_tmp(sweep_rank)
+
+    def _sweep_tmp(self, rank: int | None) -> int:
+        """Remove orphaned ``.rank*_*.tmp`` files left by dead writers.
+
+        ``save`` only unlinks its tmp file on an in-process exception; a
+        rank killed mid-write (a SIGKILLed process-executor worker, or
+        the whole interpreter dying) leaks the file forever.  A store is
+        attached only at the start of a run or recovery attempt, when no
+        writer from an earlier attempt survives, so every in-scope tmp
+        file present now is stale.  Completed ``.npz`` snapshots are
+        untouched.  Returns the number of files removed.
+        """
+        scope = _TMP_RE if rank is None else re.compile(
+            rf"^\.rank{rank:03d}_.*\.tmp$")
+        removed = 0
+        for entry in os.listdir(self.directory):
+            if scope.match(entry):
+                try:
+                    os.unlink(os.path.join(self.directory, entry))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def path(self, rank: int, frame: int) -> str:
         return os.path.join(self.directory,

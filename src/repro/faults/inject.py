@@ -49,22 +49,39 @@ class FaultInjector:
     fault hits is deterministic run to run.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, *, armed: list[int] | None = None,
+                 salt: int = 0, crash_mode: str = "raise",
+                 on_fire=None, on_crash=None) -> None:
+        if crash_mode not in ("raise", "kill"):
+            raise ValueError(f"unknown crash_mode {crash_mode!r}")
         self.plan = plan
+        self.crash_mode = crash_mode
+        #: called with ``(event index, fired record)`` after any event
+        #: fires — the process executor relays these to the launcher's
+        #: master injector (:meth:`absorb_fired`)
+        self.on_fire = on_fire
+        #: kill-mode only: called with the crash message after telemetry
+        #: is recorded; expected to never return (it SIGKILLs)
+        self.on_crash = on_crash
         self._lock = threading.Lock()
         self._send_counts: dict[int, int] = {}
         self._pending = 0  # delayed messages on the simulated wire
-        self._ids = itertools.count(1)
+        # salting keeps duplicate-suppression msg_ids unique when every
+        # rank runs its own injector replica in its own process
+        self._ids = itertools.count((salt << 40) + 1)
         self._fired: list[dict] = []
         self._trace: Trace | None = None
         self._msg_events: dict[int, list[FaultEvent]] = {}
         self._frame_events: dict[int, list[FaultEvent]] = {}
         self._armed: dict[int, bool] = {}  # id(event) -> not yet fired
-        for event in plan.events:
+        self._index = {id(e): i for i, e in enumerate(plan.events)}
+        armed_set = set(range(len(plan.events))) if armed is None \
+            else set(armed)
+        for i, event in enumerate(plan.events):
             bucket = (self._msg_events if event.kind in MESSAGE_FAULTS
                       else self._frame_events)
             bucket.setdefault(event.rank, []).append(event)
-            self._armed[id(event)] = True
+            self._armed[id(event)] = i in armed_set
 
     # -- wiring ----------------------------------------------------------------
 
@@ -84,11 +101,33 @@ class FaultInjector:
         with self._lock:
             return [dict(f) for f in self._fired]
 
-    def _mark(self, event: FaultEvent, **extra) -> None:
+    def spec(self) -> dict:
+        """A picklable replica recipe: the plan plus which events are
+        still armed.  Worker processes rebuild injectors from this, so a
+        recovery attempt never re-fires an event that already fired in a
+        previous attempt (the launcher disarmed it via
+        :meth:`absorb_fired`)."""
+        with self._lock:
+            return {"plan": self.plan.to_dict(),
+                    "armed": [i for e in self.plan.events
+                              if self._armed[id(e)]
+                              for i in (self._index[id(e)],)]}
+
+    def absorb_fired(self, index: int, record: dict) -> None:
+        """Fold a worker replica's fired event into this master
+        injector: record it and disarm the event here."""
+        with self._lock:
+            event = self.plan.events[index]
+            if self._armed[id(event)]:
+                self._armed[id(event)] = False
+                self._fired.append(dict(record))
+
+    def _mark(self, event: FaultEvent, **extra) -> tuple[int, dict]:
         record = {"kind": event.kind, "rank": event.rank,
                   "detail": event.describe()}
         record.update(extra)
         self._fired.append(record)
+        return self._index[id(event)], record
 
     def _record(self, rank: int, kind: str, peer: int | None, nbytes: int,
                 tag: int | None = None, *, wait_s: float = 0.0,
@@ -127,7 +166,10 @@ class FaultInjector:
             nbytes = _payload_nbytes(message.payload)
             if event.kind == "delay":
                 self._pending += 1
-            self._mark(event, dest=dest, tag=tag, nbytes=nbytes)
+            fire = self._mark(event, dest=dest, tag=tag, nbytes=nbytes)
+
+        if self.on_fire is not None:
+            self.on_fire(*fire)
 
         if event.kind == "drop":
             self._record(rank, "fault_drop", dest, nbytes, tag)
@@ -168,12 +210,13 @@ class FaultInjector:
         """
         crash = None
         straggle = None
+        fire = None
         with self._lock:
             for event in self._frame_events.get(rank, ()):
                 if event.kind == "crash":
                     if event.frame == frame and self._armed[id(event)]:
                         self._armed[id(event)] = False
-                        self._mark(event, frame=frame)
+                        fire = self._mark(event, frame=frame)
                         crash = event
                         break
                 elif event.frame <= frame < event.frame + event.frames:
@@ -181,13 +224,17 @@ class FaultInjector:
                         # recorded once, but keeps straggling for the
                         # whole frame window (slow hardware stays slow)
                         self._armed[id(event)] = False
-                        self._mark(event, frame=frame)
+                        fire = self._mark(event, frame=frame)
                     straggle = event
+        if fire is not None and self.on_fire is not None:
+            self.on_fire(*fire)
         if crash is not None:
             self._record(rank, "fault_crash", None, 0, frame)
-            raise InjectedFaultError(
-                f"injected crash on rank {rank} at frame {frame} "
-                f"(plan seed {self.plan.seed})")
+            reason = (f"injected crash on rank {rank} at frame {frame} "
+                      f"(plan seed {self.plan.seed})")
+            if self.crash_mode == "kill" and self.on_crash is not None:
+                self.on_crash(reason)  # flushes telemetry, then SIGKILL
+            raise InjectedFaultError(reason)
         if straggle is not None and straggle.seconds > 0:
             trace = self._trace
             t0 = trace.now() if trace is not None else 0.0

@@ -80,6 +80,43 @@ def _collective_tags(seq: int) -> tuple[int, int]:
     return up, up + 1
 
 
+def find_wait_cycle(succ: dict[int, int]) -> list[int] | None:
+    """Smallest-starting-rank cycle in a rank -> awaited-rank graph.
+
+    *succ* holds one concrete wait-for edge per blocked rank (receivers
+    with a wildcard source contribute no edge).  Shared by the in-process
+    :class:`DeadlockDetector` and the process executor's parent-side
+    mirror, so both name cycles identically.
+    """
+    for start in sorted(succ):
+        seen: list[int] = []
+        rank: int | None = start
+        while rank is not None and rank in succ and rank not in seen:
+            seen.append(rank)
+            rank = succ[rank]
+        if rank in seen:
+            return seen[seen.index(rank):]
+    return None
+
+
+def format_rank_states(size: int, done: set, waiting: dict) -> str:
+    """The per-rank status block deadlock/stuck reports end with.
+
+    *waiting* maps blocked ranks to human-readable wait descriptions;
+    ranks in neither set are reported as running.
+    """
+    lines = []
+    for rank in range(size):
+        if rank in done:
+            status = "finished"
+        elif rank in waiting:
+            status = f"blocked in {waiting[rank]}"
+        else:
+            status = "running"
+        lines.append(f"  rank {rank}: {status}")
+    return "\n".join(lines)
+
+
 def _payload_bytes(obj) -> int:
     # scalars first: the latency-critical path ships 8-byte payloads
     if isinstance(obj, (int, float, bool, np.generic)):
@@ -251,17 +288,9 @@ class DeadlockDetector:
 
     def _find_cycle(self, states: list[_WaitState]) -> list[int] | None:
         """Smallest-starting-rank cycle over concrete wait-for edges."""
-        succ = {ws.rank: ws.source for ws in states
-                if ws.op != "barrier" and ws.source is not None}
-        for start in sorted(succ):
-            seen: list[int] = []
-            rank: int | None = start
-            while rank is not None and rank in succ and rank not in seen:
-                seen.append(rank)
-                rank = succ[rank]
-            if rank in seen:
-                return seen[seen.index(rank):]
-        return None
+        return find_wait_cycle({ws.rank: ws.source for ws in states
+                                if ws.op != "barrier"
+                                and ws.source is not None})
 
     # -- reporting --------------------------------------------------------------
 
@@ -270,16 +299,9 @@ class DeadlockDetector:
             return self._snapshot_locked()
 
     def _snapshot_locked(self) -> str:
-        lines = []
-        for rank in range(self.size):
-            if rank in self._done:
-                status = "finished"
-            elif rank in self._waiting:
-                status = "blocked in " + self._waiting[rank].describe()
-            else:
-                status = "running"
-            lines.append(f"  rank {rank}: {status}")
-        return "\n".join(lines)
+        return format_rank_states(
+            self.size, self._done,
+            {r: ws.describe() for r, ws in self._waiting.items()})
 
     def _trip(self) -> None:
         """Wake the whole world so every blocked rank sees the diagnosis."""

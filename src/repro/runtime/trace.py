@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 #: every event kind that is a synchronization in the Table-1 sense:
 #: the rank cannot proceed until (some) other ranks participate.
@@ -68,6 +68,50 @@ class TraceEvent:
         return self.t1 - self.t0
 
 
+@dataclass(frozen=True)
+class EpochProbe:
+    """One process's trace-clock sample, for the cross-process handshake.
+
+    ``time.monotonic()`` and ``time.perf_counter_ns()`` are only
+    guaranteed comparable *within* a process: a worker's trace epoch is
+    meaningless on the caller's clock.  At attach time the worker sends
+    an :meth:`EpochProbe.sample` of its trace; the receiver stamps its
+    own clock at receipt and :func:`epoch_shift` solves for the offset
+    that lands the worker's epoch-relative timestamps on the receiver's
+    epoch.  The estimate is biased late by the one-way transit of the
+    probe message (microseconds on a local pipe) — events merged from a
+    worker can therefore never land *before* the moment the caller knew
+    the worker existed, keeping merged spans non-negative.
+    """
+
+    #: the sampled trace's ``epoch`` (its local ``time.monotonic()``)
+    epoch: float
+    #: the sampled trace's ``epoch_ns`` (its local ``perf_counter_ns``)
+    epoch_ns: int
+    #: local ``time.monotonic()`` at the instant the probe was taken
+    sampled_at: float
+
+    @classmethod
+    def sample(cls, trace: "Trace") -> "EpochProbe":
+        return cls(trace.epoch, trace.epoch_ns, time.monotonic())
+
+
+def epoch_shift(probe: EpochProbe, received_at: float,
+                target: "Trace") -> float:
+    """Seconds to add to *probe*-relative timestamps to rebase onto
+    *target*'s epoch.
+
+    Args:
+        probe: the remote trace's clock sample.
+        received_at: ``time.monotonic()`` on the *target*'s clock when
+            the probe arrived (the two clock readings bracket the same
+            instant, so their difference is the inter-process offset
+            plus transit).
+    """
+    skew = received_at - probe.sampled_at
+    return (probe.epoch + skew) - target.epoch
+
+
 @dataclass
 class Trace:
     """Thread-safe event collector shared by all ranks of a world."""
@@ -94,6 +138,22 @@ class Trace:
             return
         with self._lock:
             self.events.append(event)
+
+    def absorb(self, events: list[TraceEvent], shift: float = 0.0) -> None:
+        """Bulk-append *normalized* events recorded on another trace,
+        rebasing their timestamps by *shift* seconds (see
+        :func:`epoch_shift`).  Events recorded without timing (the
+        ``t0 == t1 == 0.0`` sentinel) keep their zeros — shifting a
+        sentinel would fabricate a timestamp.  Raw hot-path tuples are
+        not accepted; callers normalize with :meth:`snapshot` first.
+        """
+        if not self.enabled:
+            return
+        shifted = [e if (e.t0 == 0.0 and e.t1 == 0.0)
+                   else replace(e, t0=e.t0 + shift, t1=e.t1 + shift)
+                   for e in events]
+        with self._lock:
+            self.events.extend(shifted)
 
     # -- queries ---------------------------------------------------------------
 

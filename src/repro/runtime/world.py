@@ -31,7 +31,8 @@ class World:
 
 
 def spmd_run(size: int, fn, *, timeout: float = 60.0,
-             trace: Trace | None = None, injector=None) -> World:
+             trace: Trace | None = None, injector=None,
+             executor: str = "thread") -> World:
     """Run ``fn(comm)`` on *size* ranks and return the finished world.
 
     Args:
@@ -46,6 +47,10 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
             ``on_send`` hook intercepts point-to-point deliveries and its
             in-flight count keeps the deadlock detector honest while a
             delayed message is on the simulated wire.
+        executor: ``"thread"`` (ranks share this process and the GIL) or
+            ``"process"`` (one OS process per rank, true parallelism;
+            requires a picklable *fn* — see
+            :func:`repro.runtime.procexec.proc_run`).
 
     Raises:
         RuntimeDeadlockError: when the detector proves a deadlock (the
@@ -53,6 +58,15 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         RuntimeCommError: wrapping the first rank failure, or naming the
             ranks that ignored the failure and never stopped.
     """
+    if executor not in ("thread", "process"):
+        raise RuntimeCommError(
+            f"unknown executor {executor!r} (expected 'thread' or "
+            "'process')")
+    if executor == "process":
+        # imported lazily: procexec imports this module for World
+        from repro.runtime.procexec import proc_run
+        return proc_run(size, fn, timeout=timeout, trace=trace,
+                        injector=injector)
     if size < 1:
         raise RuntimeCommError(f"world size must be >= 1, got {size}")
     world = World(size=size, trace=trace if trace is not None else Trace())
@@ -73,13 +87,9 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
     def body(rank: int) -> None:
         comm = Communicator(rank, size, mailboxes, barrier, world.trace,
                             failed, timeout, detector, injector)
+        t0 = world.trace.now()
         try:
-            t0 = world.trace.now()
             world.results[rank] = fn(comm)
-            # the rank's execution window: envelope span the timeline
-            # subtracts instrumented intervals from to get compute time
-            world.trace.record(TraceEvent(rank, "rank", None, 0,
-                                          t0=t0, t1=world.trace.now()))
             detector.rank_done(rank)
         except BaseException as exc:  # noqa: BLE001 - must propagate all
             with state:
@@ -88,6 +98,12 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
             barrier.abort()
             detector.rank_failed(rank)
         finally:
+            # the rank's execution window: envelope span the timeline
+            # subtracts instrumented intervals from to get compute time.
+            # Recorded for crashed ranks too (t1 = failure time) so a
+            # chaos profile attributes the work done before the death.
+            world.trace.record(TraceEvent(rank, "rank", None, 0,
+                                          t0=t0, t1=world.trace.now()))
             with state:
                 remaining[0] -= 1
                 state.notify_all()

@@ -32,6 +32,19 @@ class TestSprayerMatrix:
         assert report.ok, report.table()
         assert all(s.identical for s in report.scenarios)
 
+    def test_process_executor_matrix(self, tmp_path):
+        # same matrix, one OS process per rank: a crash here is a real
+        # SIGKILLed worker, not a simulated exception — recovery and
+        # bitwise identity must hold against the genuine failure mode
+        report = run_chaos(app="sprayer", partition=(2, 1), seed=7,
+                           workdir=str(tmp_path), executor="process")
+        assert report.ok, report.table()
+        for s in report.scenarios:
+            assert s.identical is True
+            assert s.fired, f"{s.name}: planned fault never triggered"
+        by_name = {s.name: s for s in report.scenarios}
+        assert by_name["crash"].restarts >= 1
+
     def test_report_round_trips_through_json(self, tmp_path):
         report = run_chaos(app="sprayer", seed=3, scenarios=("crash",),
                            workdir=str(tmp_path))

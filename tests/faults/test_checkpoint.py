@@ -37,6 +37,38 @@ class TestRoundtrip:
             store.load(0, 99)
 
 
+class TestTmpSweep:
+    def test_orphaned_tmp_files_are_swept_on_attach(self, tmp_path):
+        # a rank killed mid-write (real under the process executor)
+        # leaves its atomic-write tmp behind; save() only unlinks on an
+        # in-process exception, so before the sweep these accumulated
+        # forever
+        store = CheckpointStore(str(tmp_path))
+        store.save(0, 3, {"v": np.arange(4.0)}, {})
+        store.save(1, 3, {"v": np.arange(4.0)}, {})
+        for orphan in (".rank000_abc123.tmp", ".rank001_dead.tmp"):
+            (tmp_path / orphan).write_bytes(b"partial write")
+        reattached = CheckpointStore(str(tmp_path))
+        assert reattached.swept == 2
+        left = sorted(p.name for p in tmp_path.iterdir())
+        assert left == ["rank000_frame00000003.npz",
+                        "rank001_frame00000003.npz"]
+        # the surviving snapshots are still loadable
+        assert np.array_equal(reattached.load(0, 3).arrays["v"],
+                              np.arange(4.0))
+
+    def test_sweep_scoped_to_one_rank_spares_peer_writers(self, tmp_path):
+        # a process-executor worker attaches while its peers may be
+        # mid-write: it must only sweep its own orphans
+        CheckpointStore(str(tmp_path))
+        (tmp_path / ".rank000_old.tmp").write_bytes(b"mine, stale")
+        (tmp_path / ".rank001_live.tmp").write_bytes(b"peer, in flight")
+        store = CheckpointStore(str(tmp_path), sweep_rank=0)
+        assert store.swept == 1
+        assert not (tmp_path / ".rank000_old.tmp").exists()
+        assert (tmp_path / ".rank001_live.tmp").exists()
+
+
 class TestPruning:
     def test_keep_retains_most_recent_per_rank(self, tmp_path):
         store = CheckpointStore(str(tmp_path))

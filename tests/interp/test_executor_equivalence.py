@@ -1,15 +1,22 @@
-"""Every gallery kernel through all three executors, compared bitwise.
+"""Every gallery kernel through all the executors, compared bitwise.
 
 The reference interpreter, the scalar numpy backend, and the vectorizing
 backend are three independent executions of the same Fortran semantics;
 any divergence in final field arrays or program output is a bug in one
 of them.  Grids are compared by raw bytes — not approximate equality —
 because the vectorizer's contract is bitwise identity.
+
+The same contract extends across *rank executors*: the parallel run on
+in-process threads and on one-OS-process-per-rank workers must produce
+bitwise-identical stitched grids, even though the process executor
+pickles payloads (or ships them through shared memory) instead of
+handing references across threads.
 """
 
 import pytest
 
 from repro.apps import kernels
+from repro.core.pipeline import AutoCFD
 from repro.fortran.parser import parse_source
 from repro.interp.interpreter import Interpreter
 from repro.interp.io_runtime import IoManager
@@ -56,3 +63,21 @@ def test_three_executors_agree(name, gen):
             f"{name}: interpreter vs scalar backend differ on {aname!r}"
         assert ref.data.tobytes() == v_arrays[aname].data.tobytes(), \
             f"{name}: interpreter vs vectorized backend differ on {aname!r}"
+
+
+@pytest.mark.parametrize("name,gen", CASES, ids=[n for n, _ in CASES])
+def test_thread_and_process_executors_agree(name, gen):
+    # the parallel run itself, on both rank executors: the process
+    # executor crosses a pickle/shared-memory boundary on every halo
+    # exchange, so this catches any serialization-induced divergence
+    acfd = AutoCFD.from_source(gen())
+    dims = (2,) + (1,) * (len(acfd.grid.shape) - 1)
+    compiled = acfd.compile(partition=dims)
+    thread = compiled.run_parallel(timeout=60.0)
+    proc = compiled.run_parallel(timeout=60.0, executor="process")
+    assert thread.output() == proc.output()
+    assert compiled.plan.arrays, "kernel must expose a status array"
+    for aname in compiled.plan.arrays:
+        assert (thread.array(aname).data.tobytes()
+                == proc.array(aname).data.tobytes()), \
+            f"{name}: thread vs process executor differ on {aname!r}"

@@ -55,6 +55,34 @@ class TestWatchdog:
         assert time.monotonic() - t0 < 30.0
 
 
+class TestRankEnvelope:
+    def test_crashed_rank_still_gets_an_execution_window(self):
+        # the "rank" envelope used to be recorded only on the success
+        # path, so a crashed rank had no execution window and the
+        # timeline attributed zero compute to it — `acfd profile` on a
+        # chaos run misreported the crashed rank
+        def body(comm):
+            if comm.rank == 1:
+                time.sleep(0.02)
+                raise RuntimeError("injected death")
+            return comm.rank
+
+        trace = None
+        with pytest.raises(RuntimeCommError, match="injected death"):
+            from repro.runtime.trace import Trace
+            trace = Trace()
+            spmd_run(2, body, timeout=5.0, trace=trace)
+        envelopes = {e.rank: e for e in trace.snapshot()
+                     if e.kind == "rank"}
+        assert set(envelopes) == {0, 1}, \
+            "every rank gets an envelope, crashed ones included"
+        crashed = envelopes[1]
+        # t1 is the failure time: the window covers the work done
+        # before the death (here, at least the 20 ms sleep)
+        assert crashed.t1 >= crashed.t0
+        assert crashed.dur >= 0.02
+
+
 class TestPoolDrain:
     def test_drain_frees_pooled_and_counts_leaks(self):
         pool = BufferPool()
