@@ -19,7 +19,8 @@ to the exchange itself and has no separate send account.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from repro.apps.sprayer import sprayer_source
 from repro.core import AutoCFD
@@ -48,6 +49,9 @@ class DriftReport:
     predicted_s: float
     #: category -> {"observed_pct", "predicted_pct", "drift_pp"}
     categories: dict
+    #: per-rank sent-traffic comparison: the real runtime's telemetry
+    #: byte counters against the simulator's modeled face messages
+    traffic: list = field(default_factory=list)
 
     @property
     def max_drift_pp(self) -> float:
@@ -60,7 +64,8 @@ class DriftReport:
                 "observed_s": self.observed_s,
                 "predicted_s": self.predicted_s,
                 "max_drift_pp": self.max_drift_pp,
-                "categories": self.categories}
+                "categories": self.categories,
+                "traffic": self.traffic}
 
     def table(self) -> str:
         lines = [f"{'category':<12s} {'predicted':>10s} {'observed':>10s} "
@@ -74,6 +79,15 @@ class DriftReport:
             f"max drift {self.max_drift_pp:.1f}pp "
             f"(observed {self.observed_s * 1e3:.1f} ms on this host, "
             f"predicted {self.predicted_s * 1e3:.1f} ms on the model)")
+        if self.traffic:
+            lines.append(f"{'rank':>4s} {'sent(model)':>12s} "
+                         f"{'sent(real)':>12s} {'ratio':>6s}")
+            for row in self.traffic:
+                ratio = row["ratio"]
+                lines.append(
+                    f"{row['rank']:>4d} {row['predicted_sent']:>11d}B "
+                    f"{row['observed_sent']:>11d}B "
+                    f"{'-' if ratio is None else format(ratio, '.2f'):>6s}")
         return "\n".join(lines)
 
 
@@ -127,17 +141,25 @@ def run_drift(n: int = 60, m: int = 24, iters: int = 8,
                                               else 1.0e-6))
     result = acfd.compile(partition=partition)
 
-    if faults is None:
-        par = result.run_parallel(input_text=_SPRAYER_DECK)
-    else:
-        import tempfile
+    from repro.obs.health import Telemetry
+    telemetry = Telemetry(math.prod(partition))
+    try:
+        if faults is None:
+            par = result.run_parallel(input_text=_SPRAYER_DECK,
+                                      telemetry=telemetry)
+        else:
+            import tempfile
 
-        from repro.faults import run_recovered
-        with tempfile.TemporaryDirectory(prefix="acfd_drift_ckpt_") as d:
-            par, _attempts, _inj = run_recovered(
-                result.plan, result.spmd_cu, fault_plan=faults,
-                ckpt_dir=d, input_text=_SPRAYER_DECK,
-                every=checkpoint_every)
+            from repro.faults import run_recovered
+            with tempfile.TemporaryDirectory(
+                    prefix="acfd_drift_ckpt_") as d:
+                par, _attempts, _inj = run_recovered(
+                    result.plan, result.spmd_cu, fault_plan=faults,
+                    ckpt_dir=d, input_text=_SPRAYER_DECK,
+                    every=checkpoint_every, telemetry=telemetry)
+        observed_samples = telemetry.samples()
+    finally:
+        telemetry.close()
     observed_roll = par.rollup()
     observed = _observed_breakdown(observed_roll)
     observed_total = max((r.total for r in observed_roll.ranks),
@@ -163,7 +185,15 @@ def run_drift(n: int = 60, m: int = 24, iters: int = 8,
                         "observed_pct": obs_pct[cat],
                         "drift_pp": obs_pct[cat] - pred_pct[cat]}
                   for cat in CATEGORIES}
+    traffic = []
+    for obs_s, sim_s in zip(observed_samples, out.health_samples()):
+        traffic.append({
+            "rank": obs_s.rank,
+            "observed_sent": obs_s.sent_bytes,
+            "predicted_sent": sim_s.sent_bytes,
+            "ratio": (obs_s.sent_bytes / sim_s.sent_bytes
+                      if sim_s.sent_bytes else None)})
     return DriftReport(partition=tuple(partition), frames=iters,
                        observed_s=observed_total,
                        predicted_s=out.total_time,
-                       categories=categories)
+                       categories=categories, traffic=traffic)

@@ -168,6 +168,45 @@ def runtime_collectives():
                 world.trace.comm_stats()["collective_bytes"]}
 
 
+@scenario("runtime.heartbeat_overhead", tags=("runtime", "quick"))
+def runtime_heartbeat_overhead():
+    """Telemetry tax: ping-pong + 2x2 halo with the heartbeat board and
+    flight recorder attached vs bare.  The timed body runs both
+    variants back to back so the MAD gate watches the pair's total;
+    ``overhead_ratio`` (instrumented / bare wall time, 1.0 = free) is
+    the headline number the record keeps."""
+    import time
+
+    from repro.obs.health import Telemetry
+
+    pp_rounds = 100
+    halo_rounds = 10
+
+    def run_pair(telemetry_for):
+        t0 = time.perf_counter()
+        spmd_run(2, functools.partial(_proc_pingpong_body, pp_rounds),
+                 telemetry=telemetry_for(2))
+        spmd_run(4, functools.partial(_proc_halo_body, halo_rounds),
+                 telemetry=telemetry_for(4))
+        return time.perf_counter() - t0
+
+    bare_s = run_pair(lambda size: None)
+    boards = []
+
+    def make(size):
+        tele = Telemetry(size)
+        boards.append(tele)
+        return tele
+
+    try:
+        live_s = run_pair(make)
+    finally:
+        for tele in boards:
+            tele.close()
+    return {"bare_s": bare_s, "telemetry_s": live_s,
+            "overhead_ratio": live_s / bare_s if bare_s > 0 else 1.0}
+
+
 # -- runtime: process executor -----------------------------------------------------
 #
 # The same microbenchmarks on one-OS-process-per-rank workers, so every

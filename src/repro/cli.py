@@ -25,7 +25,12 @@ accept ``--metrics-out`` for a Prometheus text dump of every metric.
 ``bench`` runs the registered benchmark scenarios, writes a
 ``BENCH_<git-sha>.json`` record, and (with ``--against``) gates the run
 against an earlier record; ``--drift`` prints the model-vs-measured
-category drift instead.
+category drift instead.  ``run --live`` refreshes a per-rank health
+table during execution (``--live-metrics-port`` additionally serves
+Prometheus text over HTTP), ``top`` attaches the same table to a live
+process-executor run from another terminal, and ``postmortem``
+re-renders the ``postmortem_<sha>.json`` documents the runtime writes
+when a world deadlocks, crashes, or exhausts recovery.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import argparse
 import json
 import math
 import sys
+import time
 
 import numpy as np
 
@@ -147,8 +153,54 @@ def cmd_run(args) -> int:
           f"({result.report.vector_loops} loops vectorized, "
           f"{result.report.fallback_loops} scalar fallbacks)")
     seq = acfd.run_sequential(input_text=input_text, vectorize=vec)
-    par = result.run_parallel(input_text=input_text, vectorize=vec,
-                              executor=args.executor)
+
+    size = math.prod(result.plan.partition.dims)
+    telemetry = renderer = server = live_path = None
+    if args.live or args.live_metrics_port is not None:
+        from repro.obs.health import (LiveRenderer, Telemetry,
+                                      publish_live, serve_metrics)
+        telemetry = Telemetry(size, shared=(args.executor == "process"))
+        if telemetry.shared:
+            live_path = publish_live(telemetry)
+        if args.live_metrics_port is not None:
+            server = serve_metrics(acfd.obs.metrics,
+                                   port=args.live_metrics_port,
+                                   telemetry=telemetry)
+            print(f"serving metrics on http://127.0.0.1:"
+                  f"{server.server_address[1]}/metrics")
+        if args.live:
+            renderer = LiveRenderer(telemetry,
+                                    interval=args.live_interval)
+            renderer.start()
+    try:
+        try:
+            par = result.run_parallel(input_text=input_text,
+                                      vectorize=vec,
+                                      executor=args.executor,
+                                      telemetry=telemetry)
+        except ReproError as exc:
+            if telemetry is not None:
+                from repro.obs.postmortem import (build_postmortem,
+                                                  write_postmortem)
+                report = build_postmortem(error=exc, size=size,
+                                          telemetry=telemetry)
+                print(f"wrote {write_postmortem(report)} "
+                      f"(re-render with 'acfd postmortem')",
+                      file=sys.stderr)
+            raise
+        if args.live:
+            from repro.obs.health import render_health_table
+            print(render_health_table(telemetry.samples()))
+    finally:
+        if renderer is not None:
+            renderer.stop()
+        if server is not None:
+            server.shutdown()
+        if live_path is not None:
+            from repro.obs.health import unpublish_live
+            unpublish_live(live_path)
+        if telemetry is not None:
+            telemetry.close()
     print(f"sequential output: {seq.io.output()}")
     print(f"parallel output:   {par.output()}")
     ok = True
@@ -217,7 +269,7 @@ def cmd_profile(args) -> int:
     par = result.run_parallel(input_text=input_text, vectorize=vec,
                               executor=args.executor)
     rollup = par.rollup()
-    print(rollup.table())
+    print(rollup.table(top=args.top))
     frames = par.timeline().frames()
     if len(frames) > 1:
         print(f"frames inferred: {len(frames)}")
@@ -231,7 +283,7 @@ def cmd_profile(args) -> int:
     sim = ClusterSim(result.plan, record_timeline=True)
     out = sim.run(args.frames)
     sim_rollup = out.rollup()
-    print(sim_rollup.table())
+    print(sim_rollup.table(top=args.top))
 
     trace_out = args.trace_out
     if trace_out is None:
@@ -275,7 +327,8 @@ def cmd_chaos(args) -> int:
                        recover=not args.no_recover,
                        max_restarts=args.max_restarts, every=args.every,
                        full=args.full, timeout=args.timeout,
-                       executor=args.executor)
+                       executor=args.executor,
+                       postmortem_dir=args.postmortem_dir)
     print(report.table())
     if args.report:
         with open(args.report, "w", encoding="utf-8") as fh:
@@ -285,6 +338,48 @@ def cmd_chaos(args) -> int:
         failed = [s.name for s in report.scenarios if not s.ok]
         print(f"acfd: chaos FAILED: {', '.join(failed)}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_top(args) -> int:
+    """Attach to a live run's telemetry and render its health board."""
+    from repro.obs.health import Telemetry, find_live, render_health_table
+
+    path = args.board or find_live()
+    if path is None:
+        print("acfd: no live run found — start one with "
+              "'acfd run --live --executor process' (or pass --board)",
+              file=sys.stderr)
+        return 1
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        tele = Telemetry.attach_world(doc["spec"])
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"acfd: cannot attach to {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        while True:
+            print(render_health_table(tele.samples()), flush=True)
+            if args.once or tele.done():
+                return 0
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        tele.close(unlink=False)
+
+
+def cmd_postmortem(args) -> int:
+    """Re-render a postmortem_<sha>.json document."""
+    from repro.obs.postmortem import load_postmortem, render_postmortem
+
+    report = load_postmortem(args.file)
+    if args.json:
+        print(json.dumps(report, indent=1))
+    else:
+        print(render_postmortem(report, tail_events=args.tail))
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -390,6 +485,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the run's metrics registry as Prometheus "
                         "text exposition")
+    p.add_argument("--live", action="store_true",
+                   help="refresh a per-rank health table (state, frame, "
+                        "mailbox depth, traffic) during the run, with "
+                        "straggler/stall alerts; on failure a "
+                        "postmortem_<sha>.json is written")
+    p.add_argument("--live-interval", type=float, default=0.5,
+                   metavar="SEC", help="refresh cadence for --live")
+    p.add_argument("--live-metrics-port", type=int, metavar="PORT",
+                   help="serve the metrics registry plus live health "
+                        "gauges over HTTP (Prometheus text; 0 picks a "
+                        "free port)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("simulate", help="cluster performance model")
@@ -424,7 +530,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", metavar="FILE",
                    help="write the run's metrics registry as Prometheus "
                         "text exposition")
+    p.add_argument("--top", type=int, metavar="N",
+                   help="cap the per-rank tables at the N worst ranks "
+                        "by blocked time (default: all ranks)")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "top",
+        help="attach to a live 'acfd run --live --executor process' "
+             "in another terminal and render its per-rank health board")
+    p.add_argument("--board", metavar="FILE",
+                   help="discovery file written by the live run "
+                        "(default: newest acfd-live-*.json in the "
+                        "temp dir)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SEC",
+                   help="refresh cadence (default 1s)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="re-render an automated postmortem document (cause, "
+             "divergence frame, wait-for cycle, per-rank flight tails)")
+    p.add_argument("file", help="postmortem_<sha>.json path")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw document instead of the report")
+    p.add_argument("--tail", type=int, default=8, metavar="N",
+                   help="flight-recorder events to show per rank")
+    p.set_defaults(fn=cmd_postmortem)
 
     p = sub.add_parser(
         "bench",
@@ -515,6 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "become real worker deaths (SIGKILL)")
     p.add_argument("--report", metavar="FILE",
                    help="write the chaos report as JSON")
+    p.add_argument("--postmortem-dir", metavar="DIR",
+                   help="write a postmortem_<sha>.json here for every "
+                        "scenario that still fails after recovery")
     p.set_defaults(fn=cmd_chaos)
     return parser
 

@@ -114,7 +114,19 @@ class RankRuntime:
                 f"{len(sync.arrays)}")
         specs = [self._halo_spec(name, arr, dists)
                  for (name, dists), arr in zip(sync.arrays, arrays)]
-        HaloExchanger(self.cart, specs, point_id=int(sync_id)).exchange()
+        tele = self.comm.telemetry
+        if tele is None:
+            HaloExchanger(self.cart, specs,
+                          point_id=int(sync_id)).exchange()
+            return
+        prev = tele.enter(3)  # S_HALO
+        try:
+            HaloExchanger(self.cart, specs,
+                          point_id=int(sync_id)).exchange()
+        finally:
+            tele.enter(prev)
+            tele.push_event(self.comm.rank, "exchange", None, 0,
+                            int(sync_id))
 
     def pipe_recv(self, pipe_id: int, *arrays: OffsetArray) -> None:
         """Blocking receive of pipelined new values from minus neighbors."""
@@ -256,6 +268,9 @@ class RankRuntime:
         restore from.
         """
         it = int(it)
+        tele = self.comm.telemetry
+        if tele is not None:
+            tele.frame(it)
         ck = self.checkpoints
         if ck is not None:
             restore = ck.restore_frame
@@ -295,6 +310,9 @@ class RankRuntime:
         named, commons = self._snapshot(arrays)
         nbytes = self.checkpoints.save(self.comm.rank, frame, named,
                                        commons)
+        tele = self.comm.telemetry
+        if tele is not None:
+            tele.checkpoint(frame)
         trace.record(TraceEvent(self.comm.rank, "checkpoint", None,
                                 nbytes, frame, t0=t0, t1=trace.now()))
 
@@ -328,5 +346,9 @@ class RankRuntime:
                 self._ctx.commons[block][pos] = saved.item()
             nbytes += saved.nbytes
         self._restored = True
+        tele = self.comm.telemetry
+        if tele is not None:
+            tele.push_event(self.comm.rank, "restore", None, nbytes,
+                            frame)
         trace.record(TraceEvent(self.comm.rank, "restore", None, nbytes,
                                 frame, t0=t0, t1=trace.now()))

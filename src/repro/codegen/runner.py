@@ -191,7 +191,8 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                  vectorize: bool | None = None,
                  injector=None, checkpointer=None,
                  trace: Trace | None = None,
-                 executor: str = "thread") -> ParallelResult:
+                 executor: str = "thread",
+                 telemetry=None) -> ParallelResult:
     """Restructure (unless given), compile, and run the SPMD program.
 
     Args:
@@ -214,6 +215,9 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
             (one OS process per rank — true parallelism; the program,
             plan, and I/O are pickled to the workers and compiled there,
             cached per worker across runs).
+        telemetry: optional :class:`repro.obs.health.Telemetry` — every
+            rank publishes live heartbeats/flight events into it (must
+            be shared-memory backed on the process executor).
     """
     if spmd_cu is None:
         spmd_cu = restructure(plan)
@@ -231,7 +235,7 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
                              ckpt))
         world = spmd_run(nprocs, functools.partial(_proc_rank_body, blob),
                          timeout=timeout, trace=trace, injector=injector,
-                         executor="process")
+                         executor="process", telemetry=telemetry)
         rank_values = [values for values, _io in world.results]
         rank_ios = [io for _values, io in world.results]
         arrays = _stitch(plan, rank_values)
@@ -250,7 +254,8 @@ def run_parallel(plan: ParallelPlan, *, input_text: str | None = None,
         return values, io
 
     world = spmd_run(nprocs, body, timeout=timeout, trace=trace,
-                     injector=injector, executor=executor)
+                     injector=injector, executor=executor,
+                     telemetry=telemetry)
     rank_values = []
     rank_ios = []
     for rank in range(nprocs):

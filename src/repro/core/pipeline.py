@@ -46,18 +46,20 @@ class CompileResult:
                      vectorize: bool | None = None,
                      injector=None, checkpointer=None,
                      trace=None,
-                     executor: str = "thread") -> ParallelResult:
+                     executor: str = "thread",
+                     telemetry=None) -> ParallelResult:
         """Execute the generated SPMD program on the runtime.
 
         ``injector`` / ``checkpointer`` plug the :mod:`repro.faults`
         subsystem into the run (see ``acfd chaos``); ``executor``
         selects in-process rank threads (default) or one OS process per
-        rank (``"process"`` — true parallelism)."""
+        rank (``"process"`` — true parallelism); ``telemetry`` attaches
+        a live :class:`repro.obs.health.Telemetry` heartbeat board."""
         return run_parallel(self.plan, input_text=input_text,
                             timeout=timeout, spmd_cu=self.spmd_cu,
                             vectorize=vectorize, injector=injector,
                             checkpointer=checkpointer, trace=trace,
-                            executor=executor)
+                            executor=executor, telemetry=telemetry)
 
     def parallel_source(self) -> str:
         """The generated program as free-form Fortran source."""

@@ -51,6 +51,8 @@ class ScenarioResult:
     fired: list[dict] = field(default_factory=list)
     mismatched: list[str] = field(default_factory=list)
     error: str | None = None
+    #: path of the postmortem written for an unrecovered failure
+    postmortem: str | None = None
     wall_s: float = 0.0
     #: lost time in the finishing attempt (straggler sleeps + checkpoint
     #: and restore overhead) summed over ranks, from the run's timeline
@@ -64,7 +66,8 @@ class ScenarioResult:
         return {"name": self.name, "ok": self.ok,
                 "identical": self.identical, "restarts": self.restarts,
                 "fired": self.fired, "mismatched": self.mismatched,
-                "error": self.error, "wall_s": self.wall_s,
+                "error": self.error, "postmortem": self.postmortem,
+                "wall_s": self.wall_s,
                 "fault_time_s": self.fault_time_s,
                 "fault_plan": self.fault_plan,
                 "attempts": [{"restore_frame": a.restore_frame,
@@ -109,6 +112,8 @@ class ChaosReport:
                          f"{s.wall_s * 1e3:>6.0f}ms")
             if s.error:
                 lines.append(f"    {s.error.splitlines()[0]}")
+            if s.postmortem:
+                lines.append(f"    postmortem: {s.postmortem}")
         return "\n".join(lines)
 
 
@@ -117,7 +122,8 @@ def run_recovered(plan: ParallelPlan, spmd_cu: A.CompilationUnit | None,
                   input_text: str | None = None, recover: bool = True,
                   max_restarts: int = 3, every: int = 1, keep: int = 4,
                   timeout: float = 60.0, vectorize: bool | None = None,
-                  executor: str = "thread",
+                  executor: str = "thread", telemetry=None,
+                  postmortem_dir: str | None = None,
                   ) -> tuple[ParallelResult, list[AttemptLog],
                              FaultInjector]:
     """Run under *fault_plan*, restarting from checkpoints until done.
@@ -132,36 +138,68 @@ def run_recovered(plan: ParallelPlan, spmd_cu: A.CompilationUnit | None,
         every: checkpoint cadence in frames.
         keep: checkpoints retained per rank — must exceed the frame skew
             ranks can accumulate, or the latest common frame gets pruned.
+        telemetry: a :class:`repro.obs.health.Telemetry` spanning the
+            attempts; created internally when None (shared-memory backed
+            on the process executor) so every failure gets a postmortem.
+        postmortem_dir: where ``postmortem_<sha>.json`` is written when
+            the run dies for good; None only attaches the report to the
+            raised exception (``exc.postmortem``) without writing.
     """
+    from repro.obs.health import Telemetry
+    from repro.obs.postmortem import build_postmortem, write_postmortem
+
+    size = plan.partition.size
     store = CheckpointStore(ckpt_dir)
     injector = FaultInjector(fault_plan)
+    own_telemetry = telemetry is None
+    if own_telemetry:
+        telemetry = Telemetry(size, shared=(executor == "process"))
+
+    def autopsy(exc: BaseException) -> None:
+        """Attach (and optionally write) the postmortem to *exc*."""
+        report = build_postmortem(error=exc, size=size,
+                                  telemetry=telemetry, store=store,
+                                  injector=injector, attempts=attempts)
+        exc.postmortem = report
+        if postmortem_dir is not None:
+            exc.postmortem_path = write_postmortem(report, postmortem_dir)
+
     attempts: list[AttemptLog] = []
     restore: int | None = None
     last_error: BaseException | None = None
-    for _attempt in range(1 + max_restarts):
-        ck = Checkpointer(store, every=every, keep=keep,
-                          restore_frame=restore)
-        t0 = time.perf_counter()
-        try:
-            result = run_parallel(plan, input_text=input_text,
-                                  timeout=timeout, spmd_cu=spmd_cu,
-                                  vectorize=vectorize, injector=injector,
-                                  checkpointer=ck, executor=executor)
-        except RuntimeCommError as exc:
-            attempts.append(AttemptLog(restore, time.perf_counter() - t0,
-                                       f"{type(exc).__name__}: {exc}"))
-            if not recover:
-                raise
-            last_error = exc
-            restore = store.latest_common_frame(plan.partition.size)
-            continue
-        attempts.append(AttemptLog(restore, time.perf_counter() - t0,
-                                   None))
-        return result, attempts, injector
-    raise ReproError(
-        f"chaos recovery exhausted {max_restarts} restart(s) "
-        f"({fault_plan.describe()}); last failure: {last_error}"
-        ) from last_error
+    try:
+        for _attempt in range(1 + max_restarts):
+            ck = Checkpointer(store, every=every, keep=keep,
+                              restore_frame=restore)
+            t0 = time.perf_counter()
+            try:
+                result = run_parallel(plan, input_text=input_text,
+                                      timeout=timeout, spmd_cu=spmd_cu,
+                                      vectorize=vectorize,
+                                      injector=injector,
+                                      checkpointer=ck, executor=executor,
+                                      telemetry=telemetry)
+            except RuntimeCommError as exc:
+                attempts.append(AttemptLog(restore,
+                                           time.perf_counter() - t0,
+                                           f"{type(exc).__name__}: {exc}"))
+                if not recover:
+                    autopsy(exc)
+                    raise
+                last_error = exc
+                restore = store.latest_common_frame(size)
+                continue
+            attempts.append(AttemptLog(restore,
+                                       time.perf_counter() - t0, None))
+            return result, attempts, injector
+        exhausted = ReproError(
+            f"chaos recovery exhausted {max_restarts} restart(s) "
+            f"({fault_plan.describe()}); last failure: {last_error}")
+        autopsy(exhausted)
+        raise exhausted from last_error
+    finally:
+        if own_telemetry:
+            telemetry.close()
 
 
 #: shrunk-but-honest app decks for the chaos matrix (small grids, enough
@@ -192,7 +230,8 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
               every: int = 1, full: bool = False,
               timeout: float = 60.0, vectorize: bool | None = None,
               workdir: str | None = None,
-              executor: str = "thread") -> ChaosReport:
+              executor: str = "thread",
+              postmortem_dir: str | None = None) -> ChaosReport:
     """Run the fault matrix and compare every scenario to fault-free.
 
     Args:
@@ -212,6 +251,9 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
             executor an injected crash is a real worker death
             (``SIGKILL``), so recovery is exercised against the genuine
             failure mode, not a simulated exception.
+        postmortem_dir: directory collecting ``postmortem_<sha>.json``
+            files for scenarios that die unrecovered (see
+            ``acfd postmortem``); None skips writing them.
     """
     from repro.core.pipeline import AutoCFD
     if source is None:
@@ -239,6 +281,7 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
         attempts: list[AttemptLog] = []
         fired: list[dict] = []
         error = None
+        postmortem = None
         with tempfile.TemporaryDirectory(prefix=f"acfd_chaos_{kind}_",
                                          dir=workdir) as ckpt_dir:
             try:
@@ -248,10 +291,11 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
                     input_text=input_text, recover=recover,
                     max_restarts=max_restarts, every=every,
                     timeout=timeout, vectorize=vectorize,
-                    executor=executor)
+                    executor=executor, postmortem_dir=postmortem_dir)
                 fired = injector.fired()
             except ReproError as exc:
                 error = f"{type(exc).__name__}: {exc}"
+                postmortem = getattr(exc, "postmortem_path", None)
         wall = time.perf_counter() - t0
         identical = None
         mismatched: list[str] = []
@@ -265,5 +309,6 @@ def run_chaos(*, app: str = "sprayer", source: str | None = None,
             name=kind, fault_plan=fault_plan.to_dict(),
             ok=error is None and bool(identical), identical=identical,
             attempts=attempts, fired=fired, mismatched=mismatched,
-            error=error, wall_s=wall, fault_time_s=fault_time))
+            error=error, postmortem=postmortem, wall_s=wall,
+            fault_time_s=fault_time))
     return report

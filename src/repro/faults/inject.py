@@ -71,6 +71,7 @@ class FaultInjector:
         self._ids = itertools.count((salt << 40) + 1)
         self._fired: list[dict] = []
         self._trace: Trace | None = None
+        self._telemetry = None
         self._msg_events: dict[int, list[FaultEvent]] = {}
         self._frame_events: dict[int, list[FaultEvent]] = {}
         self._armed: dict[int, bool] = {}  # id(event) -> not yet fired
@@ -85,10 +86,13 @@ class FaultInjector:
 
     # -- wiring ----------------------------------------------------------------
 
-    def attach(self, trace: Trace) -> None:
-        """Point fault markers at the current attempt's trace."""
+    def attach(self, trace: Trace, telemetry=None) -> None:
+        """Point fault markers at the current attempt's trace (and,
+        optionally, at a live-telemetry sink whose flight recorder gets
+        the same fault marks)."""
         with self._lock:
             self._trace = trace
+            self._telemetry = telemetry
 
     def in_flight(self) -> int:
         """Delayed messages held outside any mailbox (deadlock-detector
@@ -132,6 +136,10 @@ class FaultInjector:
     def _record(self, rank: int, kind: str, peer: int | None, nbytes: int,
                 tag: int | None = None, *, wait_s: float = 0.0,
                 t0: float | None = None) -> None:
+        telemetry = getattr(self, "_telemetry", None)
+        if telemetry is not None:
+            telemetry.push_event(rank, kind, peer, nbytes, tag,
+                                 extra=int(wait_s * 1e9))
         trace = self._trace
         if trace is None:
             return

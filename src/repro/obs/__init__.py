@@ -14,7 +14,13 @@ One subsystem measures both halves of the system:
   rank (:class:`RunRollup` — the same object the cluster simulator
   produces, so observed and simulated breakdowns compare directly);
 * **export** — :func:`chrome_trace` merges any set of span tracks into
-  Chrome-trace/Perfetto JSON (``acfd profile`` and ``--trace-out``).
+  Chrome-trace/Perfetto JSON (``acfd profile`` and ``--trace-out``);
+* **live side** — :class:`Telemetry` bundles a lock-light per-rank
+  heartbeat :class:`HealthBoard` with a crash-surviving
+  :class:`FlightRecorder` ring (shared memory under the process
+  executor), rendered by ``acfd top`` / ``acfd run --live`` and
+  correlated into ``postmortem_<sha>.json`` documents by
+  :func:`build_postmortem` when a world dies.
 """
 
 from repro.obs.export import (
@@ -22,6 +28,16 @@ from repro.obs.export import (
     chrome_trace,
     runtime_spans,
     write_chrome_trace,
+)
+from repro.obs.flight import FlightEvent, FlightRecorder
+from repro.obs.health import (
+    HealthBoard,
+    HealthSample,
+    RankTelemetry,
+    Telemetry,
+    health_alerts,
+    render_health_table,
+    serve_metrics,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import (
@@ -32,6 +48,12 @@ from repro.obs.spans import (
     current,
     histogram,
     span,
+)
+from repro.obs.postmortem import (
+    build_postmortem,
+    load_postmortem,
+    render_postmortem,
+    write_postmortem,
 )
 from repro.obs.timeline import (
     RankBreakdown,
@@ -46,4 +68,9 @@ __all__ = [
     "span",
     "RankBreakdown", "RunRollup", "Timeline", "observe_trace_histograms",
     "build_export", "chrome_trace", "runtime_spans", "write_chrome_trace",
+    "FlightEvent", "FlightRecorder",
+    "HealthBoard", "HealthSample", "RankTelemetry", "Telemetry",
+    "health_alerts", "render_health_table", "serve_metrics",
+    "build_postmortem", "load_postmortem", "render_postmortem",
+    "write_postmortem",
 ]

@@ -1,0 +1,199 @@
+"""Crash-surviving flight recorder: a bounded per-rank event ring.
+
+The lockless trace (:mod:`repro.runtime.trace`) is complete but lives in
+the worker's heap — a rank that dies by real ``SIGKILL`` takes its
+events with it.  The flight recorder keeps only the *last N* hot-path
+events per rank, but keeps them in a flat ``int64`` block that can be
+backed by ``multiprocessing.shared_memory``: the launcher (or ``acfd
+postmortem``) reads a dead worker's final moments straight out of the
+segment, no cooperation from the corpse required.
+
+Layout (all ``int64``, single segment)::
+
+    header[rank] = (cursor, epoch_ns)          # 2 words per rank
+    ring[rank][slot] = (kind, peer, nbytes, tag, extra, t_ns)
+
+``cursor`` counts pushes forever; ``cursor % slots`` is the write
+position, so readers recover both order and drop count.  ``t_ns`` is the
+writer's ``perf_counter_ns`` — rebase against ``epoch_ns`` plus the
+launcher-recorded epoch shift to land every rank on one clock (the same
+handshake the trace merge uses).  Each ring row has exactly one writer
+(its rank), so no locks; torn reads of an in-flight slot are acceptable
+for a diagnostic artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlightRecorder", "FlightEvent", "KIND_CODES", "KIND_NAMES"]
+
+#: event-kind string <-> int coding for the ring (0 = empty slot)
+KIND_NAMES = (
+    "", "send", "recv", "barrier", "bcast", "reduce", "allreduce",
+    "gather", "allgather", "scatter", "exchange", "halo_pack",
+    "halo_unpack", "pipeline_send", "pipeline_recv", "frame",
+    "checkpoint", "restore", "fault_crash", "fault_straggler",
+    "fault_drop", "fault_delay", "fault_dup", "other",
+)
+KIND_CODES = {name: code for code, name in enumerate(KIND_NAMES)}
+
+_HDRW = 2   # header words per rank: cursor, epoch_ns
+_EVW = 6    # event words: kind, peer, nbytes, tag, extra, t_ns
+
+
+def _untrack(shm) -> None:
+    """Drop *shm* from the resource tracker.  Creator and attachers all
+    talk to one tracker process whose cache is a *set*: any attacher's
+    unregister would silently erase the creator's entry, so the only
+    consistent scheme is to keep telemetry segments out of the tracker
+    entirely and balance the unlink by hand (see :func:`_unlink_shm`)."""
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_shm(name: str):
+    from multiprocessing import shared_memory
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    return shm
+
+
+def _create_shm(nbytes: int):
+    from multiprocessing import shared_memory
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    _untrack(shm)
+    return shm
+
+
+def _unlink_shm(shm) -> None:
+    """Unlink an untracked segment without tracker noise —
+    ``SharedMemory.unlink`` always unregisters, so re-register first."""
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:
+        pass
+    shm.unlink()
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One decoded ring entry."""
+
+    kind: str
+    peer: int | None
+    nbytes: int
+    tag: int | None
+    #: kind-dependent payload: saved zero-copy bytes for sends, wait
+    #: nanoseconds for recvs, frame number for frame/checkpoint marks
+    extra: int
+    #: raw writer-clock ``perf_counter_ns`` stamp
+    t_ns: int
+    #: seconds on the launcher's epoch (filled by ``Telemetry.tails``;
+    #: raw writer-epoch seconds when no shift is known)
+    t_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "peer": self.peer,
+                "nbytes": self.nbytes, "tag": self.tag,
+                "extra": self.extra, "t_s": round(self.t_s, 6)}
+
+
+class FlightRecorder:
+    """Fixed-size per-rank event rings, optionally in shared memory."""
+
+    def __init__(self, size: int, slots: int = 64, *,
+                 shared: bool = False):
+        self.size = size
+        self.slots = slots
+        nbytes = 8 * size * (_HDRW + slots * _EVW)
+        if shared:
+            self.shm = _create_shm(nbytes)
+            buf = self.shm.buf
+        else:
+            self.shm = None
+            buf = np.zeros(nbytes // 8, dtype=np.int64)
+        self.hdr = np.ndarray((size, _HDRW), dtype=np.int64, buffer=buf)
+        self.ring = np.ndarray((size, slots, _EVW), dtype=np.int64,
+                               buffer=buf, offset=8 * size * _HDRW)
+        self.reset()
+
+    @classmethod
+    def attach(cls, name: str, size: int, slots: int) -> "FlightRecorder":
+        """Attach to an existing shared recorder (no reset)."""
+        rec = cls.__new__(cls)
+        rec.size = size
+        rec.slots = slots
+        rec.shm = _attach_shm(name)
+        buf = rec.shm.buf
+        rec.hdr = np.ndarray((size, _HDRW), dtype=np.int64, buffer=buf)
+        rec.ring = np.ndarray((size, slots, _EVW), dtype=np.int64,
+                              buffer=buf, offset=8 * size * _HDRW)
+        return rec
+
+    @property
+    def name(self) -> str | None:
+        return None if self.shm is None else self.shm.name
+
+    def reset(self) -> None:
+        self.hdr[:] = 0
+        self.ring[:] = 0
+        now = time.perf_counter_ns()
+        self.hdr[:, 1] = now
+
+    def push(self, rank: int, kind: int, peer: int, nbytes: int,
+             tag: int, extra: int) -> None:
+        hdr = self.hdr[rank]
+        cur = int(hdr[0])
+        self.ring[rank, cur % self.slots] = (kind, peer, nbytes, tag,
+                                             extra, time.perf_counter_ns())
+        hdr[0] = cur + 1
+
+    def pushed(self, rank: int) -> int:
+        """Total events ever pushed by *rank* (>= len(tail))."""
+        return int(self.hdr[rank, 0])
+
+    def epoch_ns(self, rank: int) -> int:
+        return int(self.hdr[rank, 1])
+
+    def tail(self, rank: int, shift_s: float = 0.0) -> list[FlightEvent]:
+        """Decode *rank*'s ring oldest-first, rebasing timestamps to
+        ``(t_ns - epoch_ns) * 1e-9 + shift_s`` seconds."""
+        cur = int(self.hdr[rank, 0])
+        epoch = int(self.hdr[rank, 1])
+        n = min(cur, self.slots)
+        out: list[FlightEvent] = []
+        for i in range(cur - n, cur):
+            kind, peer, nbytes, tag, extra, t_ns = \
+                (int(v) for v in self.ring[rank, i % self.slots])
+            if kind <= 0 or kind >= len(KIND_NAMES):
+                continue  # empty or torn slot
+            out.append(FlightEvent(
+                kind=KIND_NAMES[kind],
+                peer=None if peer < 0 else peer,
+                nbytes=nbytes,
+                tag=None if tag < 0 else tag,
+                extra=extra, t_ns=t_ns,
+                t_s=(t_ns - epoch) * 1e-9 + shift_s))
+        return out
+
+    def close(self, unlink: bool = False) -> None:
+        # drop array views first: SharedMemory.close() refuses while
+        # exported buffers are alive
+        self.hdr = None
+        self.ring = None
+        if self.shm is not None:
+            self.shm.close()
+            if unlink:
+                try:
+                    _unlink_shm(self.shm)
+                except FileNotFoundError:
+                    pass
+            self.shm = None

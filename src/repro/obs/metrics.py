@@ -15,8 +15,9 @@ import threading
 class Counter:
     """Monotonically increasing count."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = name
+        self.help = help
         self._lock = threading.Lock()
         self._value = 0
 
@@ -36,8 +37,9 @@ class Counter:
 class Gauge:
     """Last-set value."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = name
+        self.help = help
         self._lock = threading.Lock()
         self._value = 0.0
 
@@ -70,8 +72,9 @@ class Histogram:
     bucket 0 — a zero-duration event and a 0.8 s one must not merge.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = name
+        self.help = help
         self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
@@ -155,25 +158,27 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: dict[str, object] = {}
 
-    def _get(self, name: str, cls):
+    def _get(self, name: str, cls, help: str = ""):
         with self._lock:
             inst = self._instruments.get(name)
             if inst is None:
-                inst = self._instruments[name] = cls(name)
+                inst = self._instruments[name] = cls(name, help)
             elif not isinstance(inst, cls):
                 raise TypeError(
                     f"metric {name!r} already registered as "
                     f"{type(inst).__name__}, not {cls.__name__}")
+            elif help and not inst.help:
+                inst.help = help
             return inst
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(name, Histogram, help)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -188,13 +193,18 @@ class MetricsRegistry:
         standard cumulative ``_bucket{le=...}`` series (``le="0"`` is the
         underflow bucket, upper bounds are the log2 edges) plus ``_sum``
         and ``_count``.  Metric names are sanitized to the Prometheus
-        charset (dots become underscores) and prefixed.
+        charset (dots become underscores) and prefixed; instruments
+        registered with a ``help`` string get a ``# HELP`` line with the
+        format's backslash/newline escaping applied.
         """
         with self._lock:
             instruments = dict(self._instruments)
         lines: list[str] = []
         for name, inst in sorted(instruments.items()):
             metric = _prom_name(prefix, name)
+            if inst.help:
+                lines.append(f"# HELP {metric} "
+                             f"{prom_escape_help(inst.help)}")
             if isinstance(inst, Counter):
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {_prom_num(inst.value)}")
@@ -218,6 +228,17 @@ class MetricsRegistry:
                     lines.append(f"{metric}_sum {_prom_num(inst.sum)}")
                     lines.append(f"{metric}_count {inst.count}")
         return "\n".join(lines) + "\n" if lines else ""
+
+
+def prom_escape_help(text: str) -> str:
+    """``# HELP`` escaping: backslash and line feed."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def prom_escape_label(value) -> str:
+    """Label-value escaping: backslash, line feed, double quote."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
 
 
 def _prom_name(prefix: str, name: str) -> str:

@@ -123,20 +123,37 @@ class RunRollup:
                 "load_imbalance": self.load_imbalance,
                 "critical_path_rank": self.critical_path_rank}
 
-    def table(self) -> str:
-        """Per-rank breakdown table plus the derived health numbers."""
+    def worst_ranks(self, top: int) -> list[RankBreakdown]:
+        """The *top* ranks with the most blocked time (board order)."""
+        worst = sorted(self.ranks, key=lambda r: (-r.blocked, r.rank))
+        keep = {r.rank for r in worst[:max(top, 0)]}
+        return [r for r in self.ranks if r.rank in keep]
+
+    def table(self, top: int | None = None) -> str:
+        """Per-rank breakdown table plus the derived health numbers.
+
+        ``top`` caps the table at the N worst ranks by blocked time
+        (the ones dragging the run); the summary line still covers all
+        ranks.
+        """
+        shown = self.ranks
+        if top is not None and 0 < top < len(self.ranks):
+            shown = self.worst_ranks(top)
         # the fault column only appears when some rank lost time to it
         faulty = any(r.fault > 0.0 for r in self.ranks)
         lines = [f"{'rank':>4s} {'total':>9s} {'compute':>9s} "
                  f"{'blocked':>9s} {'halo':>9s} {'collect':>9s} "
                  f"{'send':>9s}" + (f" {'fault':>9s}" if faulty else "")]
-        for r in self.ranks:
+        for r in shown:
             lines.append(
                 f"{r.rank:>4d} {r.total * 1e3:>6.1f} ms "
                 f"{r.compute * 1e3:>6.1f} ms {r.blocked * 1e3:>6.1f} ms "
                 f"{r.halo * 1e3:>6.1f} ms {r.collective * 1e3:>6.1f} ms "
                 f"{r.send * 1e3:>6.1f} ms"
                 + (f" {r.fault * 1e3:>6.1f} ms" if faulty else ""))
+        if len(shown) < len(self.ranks):
+            lines.append(f"  ... {len(self.ranks) - len(shown)} more "
+                         f"ranks elided (top {top} by blocked time)")
         ratio = self.comm_compute_ratio
         ratio_s = f"{ratio:.2f}" if ratio != float("inf") else "inf"
         lines.append(f"comm/compute ratio {ratio_s}, load imbalance "

@@ -325,6 +325,10 @@ class _Mailbox:
         #: msg_ids already accepted (duplicate suppression); bounded by
         #: the number of fault-injected duplicates, not by traffic
         self._seen_ids: set[int] = set()
+        #: queued-message count, read lock-free by health heartbeats
+        #: (approximate by design: a torn read is a stale depth, not a
+        #: correctness problem)
+        self.pending = 0
 
     def put(self, message: _Message) -> None:
         with self._cond:
@@ -333,6 +337,7 @@ class _Mailbox:
                     return  # duplicate delivery: drop silently
                 self._seen_ids.add(message.msg_id)
             self._seq += 1
+            self.pending += 1
             key = (message.source, message.tag)
             bucket = self._buckets.get(key)
             if bucket is None:
@@ -367,6 +372,7 @@ class _Mailbox:
         _, msg = bucket.popleft()
         if not bucket:
             del buckets[key]
+        self.pending -= 1
         return msg
 
     def get(self, source: int | None, tag: int | None, timeout: float | None,
@@ -484,7 +490,7 @@ class Communicator:
                  barrier: threading.Barrier, trace: Trace,
                  failed: threading.Event, timeout: float = 60.0,
                  detector: DeadlockDetector | None = None,
-                 injector=None) -> None:
+                 injector=None, telemetry=None) -> None:
         self.rank = rank
         self.size = size
         self._mailboxes = mailboxes
@@ -500,6 +506,9 @@ class Communicator:
         # bound append for the hot-path raw-tuple records; safe to cache
         # because Trace.clear() empties the list in place
         self._tappend = trace.events.append
+        #: this rank's live-health writer (repro.obs.health
+        #: RankTelemetry); None on the fault-free hot path
+        self.telemetry = telemetry
 
     # -- point-to-point --------------------------------------------------------
 
@@ -512,15 +521,19 @@ class Communicator:
         self._check_rank(dest)
         self._check_tag(tag)
         payload = obj if move else _copy_payload(obj)
-        if self._trace.enabled:
+        tele = self.telemetry
+        if self._trace.enabled or tele is not None:
             # latency-critical path: raw-tuple append (atomic under the
             # GIL) with an absolute ns stamp — snapshot() normalizes;
             # scalar sizing stays inline to skip the _payload_bytes call
             cls = obj.__class__
             nbytes = 8 if cls is int or cls is float \
                 else _payload_bytes(obj)
-            self._tappend((self.rank, "send", dest, nbytes, tag,
-                           nbytes if move else 0, perf_counter_ns()))
+            if self._trace.enabled:
+                self._tappend((self.rank, "send", dest, nbytes, tag,
+                               nbytes if move else 0, perf_counter_ns()))
+            if tele is not None:
+                tele.sent(dest, nbytes, tag, nbytes if move else 0)
         message = _Message(self.rank, tag, payload)
         if self._injector is not None and self._injector.on_send(
                 self.rank, dest, tag, message, self._mailboxes[dest]):
@@ -534,13 +547,17 @@ class Communicator:
         if tag is not None:
             self._check_tag(tag)
         msg, waited = self._get(source, tag, "recv")
-        if self._trace.enabled:
+        tele = self.telemetry
+        if self._trace.enabled or tele is not None:
             payload = msg.payload
             cls = payload.__class__
             nbytes = 8 if cls is int or cls is float \
                 else _payload_bytes(payload)
-            self._tappend((self.rank, "recv", msg.source, nbytes,
-                           msg.tag, waited, perf_counter_ns()))
+            if self._trace.enabled:
+                self._tappend((self.rank, "recv", msg.source, nbytes,
+                               msg.tag, waited, perf_counter_ns()))
+            if tele is not None:
+                tele.recvd(msg.source, nbytes, msg.tag, waited)
         return msg.payload
 
     def isend(self, dest: int, obj, tag: int = 0) -> Request:
@@ -564,8 +581,17 @@ class Communicator:
              op: str) -> tuple[_Message, float]:
         waiter = (None if self._detector is None
                   else (self._detector, self.rank, op))
-        return self._mailboxes[self.rank].get(source, tag, self._timeout,
-                                              self._failed, waiter)
+        box = self._mailboxes[self.rank]
+        tele = self.telemetry
+        if tele is None:
+            return box.get(source, tag, self._timeout, self._failed,
+                           waiter)
+        prev = tele.enter(2)  # S_BLOCKED
+        try:
+            return box.get(source, tag, self._timeout, self._failed,
+                           waiter)
+        finally:
+            tele.enter(prev)
 
     # -- collectives --------------------------------------------------------------
 
@@ -577,6 +603,8 @@ class Communicator:
     def barrier(self) -> None:
         """Synchronize all ranks."""
         t0 = time.monotonic()
+        tele = self.telemetry
+        prev = tele.enter(4) if tele is not None else None  # S_COLLECTIVE
         token = (self._detector.block(self.rank, "barrier")
                  if self._detector is not None else None)
         try:
@@ -592,11 +620,16 @@ class Communicator:
         finally:
             if token is not None:
                 self._detector.unblock(self.rank)
+            if tele is not None:
+                tele.enter(prev)
         self._record_op("barrier", None, 0, t0, time.monotonic() - t0)
 
     def _record_op(self, kind: str, peer: int | None, nbytes: int,
                    t0_mono: float, waited: float) -> None:
         """Record a completed operation as a span ending now."""
+        if self.telemetry is not None:
+            self.telemetry.push_event(self.rank, kind, peer, nbytes,
+                                      extra=int(waited * 1e9))
         if not self._trace.enabled:
             return
         epoch = self._trace.epoch

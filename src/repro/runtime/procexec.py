@@ -235,6 +235,8 @@ class _Run:
         self.failed = threading.Event()
         self.injector = None
         self.detector: _ClientDetector | None = None
+        #: this rank's live-telemetry writer (attached shared memory)
+        self.tele = None
         self.lock = threading.Lock()
         self.sent = 0
         self.delivered = 0
@@ -364,12 +366,16 @@ class ProcCommunicator(Communicator):
             return super().send(dest, obj, tag, move=move)
         self._check_rank(dest)
         self._check_tag(tag)
-        if self._trace.enabled:
+        tele = self.telemetry
+        if self._trace.enabled or tele is not None:
             cls = obj.__class__
             nbytes = 8 if cls is int or cls is float \
                 else _payload_bytes(obj)
-            self._tappend((self.rank, "send", dest, nbytes, tag,
-                           nbytes if move else 0, perf_counter_ns()))
+            if self._trace.enabled:
+                self._tappend((self.rank, "send", dest, nbytes, tag,
+                               nbytes if move else 0, perf_counter_ns()))
+            if tele is not None:
+                tele.sent(dest, nbytes, tag, nbytes if move else 0)
         self._mailboxes[dest].put(_Message(self.rank, tag, obj), move=move)
 
 
@@ -496,9 +502,13 @@ def _worker_main(rank: int, size: int, cmd, ctrl, data_in, data_out,
             continue
         # ("run", run_id, blob)
         _, run_id, blob = msg
-        fn, timeout, trace_enabled, spec = pickle.loads(blob)
+        fn, timeout, trace_enabled, spec, tele_spec = pickle.loads(blob)
         run = _Run(run_id, rank, trace_enabled)
         run.detector = _ClientDetector(run, worker.publish)
+        if tele_spec is not None:
+            from repro.obs.health import Telemetry
+            run.tele = Telemetry.attach(tele_spec, rank)
+            run.tele.start(run.trace.epoch_ns)
         if spec is not None:
             run.injector = _build_worker_injector(worker, run, spec,
                                                   barrier)
@@ -532,6 +542,8 @@ def _build_worker_injector(worker: _WorkerState, run: _Run, spec: dict,
         worker.publish(("dying", run.rank, run.run_id,
                         "InjectedFaultError", reason,
                         run.trace.snapshot()))
+        if run.tele is not None:
+            run.tele.finish(False)  # last heartbeat: state=failed
         barrier.abort()  # wake peers stuck in a barrier right away
         os.kill(os.getpid(), 9)  # SIGKILL: a real, unhandled death
 
@@ -539,7 +551,9 @@ def _build_worker_injector(worker: _WorkerState, run: _Run, spec: dict,
                              armed=spec["armed"], salt=run.rank + 1,
                              crash_mode="kill", on_fire=on_fire,
                              on_crash=on_crash)
-    injector.attach(run.trace)
+    # run.tele writes straight into launcher-owned shared memory, so
+    # fault marks (like the heartbeat rows) survive the SIGKILL below
+    injector.attach(run.trace, telemetry=run.tele)
     return injector
 
 
@@ -551,9 +565,11 @@ def _run_body(worker: _WorkerState, run: _Run, fn, timeout, barrier,
         mailboxes[dest] = _RemoteMailbox(run, conn, pipe_locks[dest],
                                          rings[dest])
     mailboxes[run.rank] = run.mailbox
+    if run.tele is not None:
+        run.tele.bind(run.mailbox, shared_pool())
     comm = ProcCommunicator(run.rank, worker.size, mailboxes, barrier,
                             run.trace, run.failed, timeout, run.detector,
-                            run.injector)
+                            run.injector, run.tele)
     #: worker-persistent compile cache (see repro.codegen.runner)
     comm.compiled_cache = compiled_cache
     err: BaseException | None = None
@@ -568,6 +584,8 @@ def _run_body(worker: _WorkerState, run: _Run, fn, timeout, barrier,
         run.trace.record(TraceEvent(run.rank, "rank", None, 0,
                                     t0=t0, t1=run.trace.now()))
         shared_pool().drain()
+        if run.tele is not None:
+            run.tele.finish(err is None)
     events = run.trace.snapshot()
     counters = run.counters()
     if err is not None:
@@ -811,7 +829,8 @@ atexit.register(shutdown_pools)
 
 
 def proc_run(size: int, fn, *, timeout: float = 60.0,
-             trace: Trace | None = None, injector=None) -> World:
+             trace: Trace | None = None, injector=None,
+             telemetry=None) -> World:
     """Run ``fn(comm)`` on *size* rank processes; same contract as
     :func:`repro.runtime.world.spmd_run`.
 
@@ -821,15 +840,23 @@ def proc_run(size: int, fn, *, timeout: float = 60.0,
     ship to the workers, fired events are relayed back and disarmed in
     the master, so exactly-once firing holds across recovery attempts
     even though each attempt rebuilds worker-side injectors.
+    *telemetry* must be shared-memory backed
+    (``Telemetry(size, shared=True)``): workers attach by segment name
+    and write heartbeats/flight events the launcher can read even after
+    a worker dies.
     """
     if size < 1:
         raise RuntimeCommError(f"world size must be >= 1, got {size}")
     world = World(size=size, trace=trace if trace is not None else Trace())
     world.results = [None] * size
+    tele_spec = None
+    if telemetry is not None:
+        tele_spec = telemetry.spec()  # raises unless shared-memory backed
+        telemetry.begin(world.trace.epoch_ns)
     try:
         blob = pickle.dumps(
             (fn, timeout, world.trace.enabled,
-             None if injector is None else injector.spec()))
+             None if injector is None else injector.spec(), tele_spec))
     except Exception as exc:
         raise RuntimeCommError(
             "process executor requires a picklable rank body (a module-"
@@ -871,6 +898,10 @@ def proc_run(size: int, fn, *, timeout: float = 60.0,
         if kind == "hello":
             shifts[rank] = epoch_shift(EpochProbe(*msg[3]),
                                        time.monotonic(), world.trace)
+            if telemetry is not None:
+                # flight/heartbeat stamps rebase on the same shift as
+                # the trace merge, so postmortems share one clock
+                telemetry.shifts[rank] = shifts[rank]
         elif kind == "blocked":
             _, _, _, op, source, tag, token, sent, delivered, infl = msg
             mirror.note(rank, (op, source, tag, token),

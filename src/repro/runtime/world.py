@@ -32,7 +32,7 @@ class World:
 
 def spmd_run(size: int, fn, *, timeout: float = 60.0,
              trace: Trace | None = None, injector=None,
-             executor: str = "thread") -> World:
+             executor: str = "thread", telemetry=None) -> World:
     """Run ``fn(comm)`` on *size* ranks and return the finished world.
 
     Args:
@@ -51,6 +51,10 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
             ``"process"`` (one OS process per rank, true parallelism;
             requires a picklable *fn* — see
             :func:`repro.runtime.procexec.proc_run`).
+        telemetry: optional :class:`repro.obs.health.Telemetry` — each
+            rank publishes live heartbeats and flight-recorder events
+            into it (must be shared-memory backed for the process
+            executor).
 
     Raises:
         RuntimeDeadlockError: when the detector proves a deadlock (the
@@ -66,7 +70,7 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
         # imported lazily: procexec imports this module for World
         from repro.runtime.procexec import proc_run
         return proc_run(size, fn, timeout=timeout, trace=trace,
-                        injector=injector)
+                        injector=injector, telemetry=telemetry)
     if size < 1:
         raise RuntimeCommError(f"world size must be >= 1, got {size}")
     world = World(size=size, trace=trace if trace is not None else Trace())
@@ -76,27 +80,38 @@ def spmd_run(size: int, fn, *, timeout: float = 60.0,
     failed = threading.Event()
     detector = DeadlockDetector(size)
     detector.attach(mailboxes, barrier, failed)
+    if telemetry is not None:
+        telemetry.begin(world.trace.epoch_ns)
     if injector is not None:
         detector.in_flight = injector.in_flight
-        injector.attach(world.trace)
+        injector.attach(world.trace, telemetry=telemetry)
     errors: list[tuple[int, BaseException]] = []
     # also guards `remaining`; notifies the launcher on every rank exit
     state = threading.Condition()
     remaining = [size]
 
     def body(rank: int) -> None:
+        tele = None
+        if telemetry is not None:
+            tele = telemetry.rank_view(rank)
+            tele.bind(mailboxes[rank], shared_pool())
+            tele.start(world.trace.epoch_ns)
         comm = Communicator(rank, size, mailboxes, barrier, world.trace,
-                            failed, timeout, detector, injector)
+                            failed, timeout, detector, injector, tele)
         t0 = world.trace.now()
         try:
             world.results[rank] = fn(comm)
             detector.rank_done(rank)
+            if tele is not None:
+                tele.finish(True)
         except BaseException as exc:  # noqa: BLE001 - must propagate all
             with state:
                 errors.append((rank, exc))
             failed.set()
             barrier.abort()
             detector.rank_failed(rank)
+            if tele is not None:
+                tele.finish(False)
         finally:
             # the rank's execution window: envelope span the timeline
             # subtracts instrumented intervals from to get compute time.

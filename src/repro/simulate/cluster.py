@@ -58,6 +58,12 @@ class SimResult:
     #: per-rank time lost to injected faults (straggler slowdowns and
     #: crash-recovery downtime), when the sim ran with a fault plan
     fault_time: list[float] = field(default_factory=list)
+    #: modeled per-rank traffic over the whole run (extrapolated frames
+    #: included — comm phases are frame-periodic, so counts scale exactly)
+    sent_bytes: list[int] = field(default_factory=list)
+    recv_bytes: list[int] = field(default_factory=list)
+    sent_msgs: list[int] = field(default_factory=list)
+    recv_msgs: list[int] = field(default_factory=list)
 
     @property
     def any_oom(self) -> bool:
@@ -84,6 +90,27 @@ class SimResult:
                                fault=fault[r])
                  for r in range(len(self.per_rank))]
         return RunRollup(source="simulated", ranks=ranks)
+
+    def health_samples(self) -> list:
+        """The simulated run as final :class:`HealthSample` heartbeats.
+
+        The same record a live board would show after the run finished,
+        so ``--drift`` (and tests) can diff modeled traffic against the
+        observed telemetry row by row.
+        """
+        from repro.obs.health import HealthSample
+        size = len(self.per_rank)
+        empty = [0] * size
+        sent_b = self.sent_bytes or empty
+        recv_b = self.recv_bytes or empty
+        sent_n = self.sent_msgs or empty
+        recv_n = self.recv_msgs or empty
+        return [HealthSample(
+            rank=r, beat=self.frames, state="done",
+            frame=self.frames - 1, mailbox_depth=0, pool_outstanding=0,
+            ckpt_frame=None, sent_bytes=sent_b[r], recv_bytes=recv_b[r],
+            sent_msgs=sent_n[r], recv_msgs=recv_n[r],
+            t_ns=0, t_s=self.per_rank[r]) for r in range(size)]
 
 
 class ClusterSim:
@@ -246,6 +273,8 @@ class ClusterSim:
                     if nbytes == 0:
                         continue
                     total_bytes += nbytes
+                    self._sent_b[r] += nbytes
+                    self._sent_n[r] += 1
                     clock += net.injection_time(nbytes) + net.latency
                     injection_end[(r, n)] = clock
             send_done[r] = clock
@@ -268,6 +297,8 @@ class ClusterSim:
                     if nbytes == 0:
                         continue
                     received_any = True
+                    self._recv_b[r] += nbytes
+                    self._recv_n[r] += 1
                     arrival = injection_end.get((n, r))
                     if arrival is not None:
                         done = max(done, arrival)
@@ -294,6 +325,11 @@ class ClusterSim:
         for r in range(self.size):
             self._mark(r, "allreduce", "collective", t[r], done,
                        count=phase.count)
+            # recursive-doubling model: one 8-byte value each way per round
+            self._sent_b[r] += rounds * 8 * phase.count
+            self._recv_b[r] += rounds * 8 * phase.count
+            self._sent_n[r] += rounds * phase.count
+            self._recv_n[r] += rounds * phase.count
             comm[r] += done - t[r]
             t[r] = done
 
@@ -331,6 +367,10 @@ class ClusterSim:
         if frames < 1:
             raise SimulationError(f"frames must be >= 1, got {frames}")
         self._spans = []
+        self._sent_b = [0] * self.size
+        self._recv_b = [0] * self.size
+        self._sent_n = [0] * self.size
+        self._recv_n = [0] * self.size
         t = [0.0] * self.size
         compute = [0.0] * self.size
         comm = [0.0] * self.size
@@ -376,11 +416,21 @@ class ClusterSim:
 
         oom = [r for r in range(self.size)
                if self.machine.node.is_oom(self.working_set[r])]
+        # comm phases recur identically every frame, so traffic counters
+        # extrapolate exactly by the frame ratio
+        scale = frames / simulated
+        traffic = {
+            "sent_bytes": [round(v * scale) for v in self._sent_b],
+            "recv_bytes": [round(v * scale) for v in self._recv_b],
+            "sent_msgs": [round(v * scale) for v in self._sent_n],
+            "recv_msgs": [round(v * scale) for v in self._recv_n],
+        }
         return SimResult(total_time=max(t), per_rank=t,
                          compute_time=compute, comm_time=comm,
                          pipe_wait=pipe_wait, frames=frames,
                          oom_ranks=oom, working_set=list(self.working_set),
-                         spans=list(self._spans), fault_time=fault)
+                         spans=list(self._spans), fault_time=fault,
+                         **traffic)
 
 
 def simulate_run(plan: ParallelPlan, frames: int,

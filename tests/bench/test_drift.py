@@ -56,3 +56,20 @@ class TestDegradedDrift:
         report = run_drift(n=40, m=16, iters=4, faults=plan)
         assert report.categories["fault"]["observed_pct"] > 0.0
         assert report.categories["fault"]["predicted_pct"] > 0.0
+
+
+class TestTrafficComparison:
+    def test_per_rank_sent_bytes_model_vs_observed(self, report):
+        assert len(report.traffic) == 2
+        for row in report.traffic:
+            assert row["predicted_sent"] > 0
+            assert row["observed_sent"] > 0
+            # both sides model the same face messages; agreement within
+            # an order of magnitude is the sanity floor (the runtime
+            # ships real array payloads, the model counts face bytes)
+            assert row["ratio"] is not None
+            assert 0.1 < row["ratio"] < 10.0
+
+    def test_traffic_renders_in_table_and_dict(self, report):
+        assert "sent(model)" in report.table()
+        assert report.as_dict()["traffic"] == report.traffic

@@ -56,3 +56,31 @@ class TestSprayerMatrix:
         assert sc["fault_plan"]["seed"] == 3
         assert sc["restarts"] >= 1
         assert "identical" in report.table()
+
+
+class TestChaosPostmortems:
+    def test_unrecovered_crash_scenario_records_postmortem(self,
+                                                           tmp_path):
+        pm_dir = tmp_path / "pm"
+        report = run_chaos(app="sprayer", seed=3, scenarios=("crash",),
+                           recover=False, workdir=str(tmp_path),
+                           postmortem_dir=str(pm_dir))
+        assert not report.ok
+        sc = report.scenarios[0]
+        assert sc.postmortem is not None
+        assert sc.postmortem in {str(p) for p in
+                                 pm_dir.glob("postmortem_*.json")}
+        doc = json.loads((pm_dir / sc.postmortem.rsplit("/", 1)[-1])
+                         .read_text())
+        assert doc["cause"]["kind"] == "crash"
+        assert f"postmortem: {sc.postmortem}" in report.table()
+
+    def test_recovered_scenarios_write_no_postmortem(self, tmp_path):
+        pm_dir = tmp_path / "pm"
+        report = run_chaos(app="sprayer", seed=3, scenarios=("crash",),
+                           workdir=str(tmp_path),
+                           postmortem_dir=str(pm_dir))
+        assert report.ok
+        assert report.scenarios[0].postmortem is None
+        assert not list(pm_dir.glob("postmortem_*.json")) \
+            if pm_dir.exists() else True

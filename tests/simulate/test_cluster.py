@@ -137,3 +137,29 @@ class TestResultHelpers:
         s = sim_for(JACOBI_SRC, (2, 1)).run(30)
         assert s.speedup(s.total_time * 2) == pytest.approx(2.0)
         assert s.efficiency(s.total_time * 2, 2) == pytest.approx(1.0)
+
+
+class TestSimHealthSamples:
+    def test_traffic_counters_scale_with_frames(self):
+        short = sim_for(JACOBI_SRC, (2, 1), chunks=1).run(4, warmup=4)
+        long = sim_for(JACOBI_SRC, (2, 1), chunks=1).run(8, warmup=8)
+        assert sum(long.sent_bytes) == 2 * sum(short.sent_bytes)
+        assert sum(long.recv_bytes) == sum(long.sent_bytes)
+        assert all(n > 0 for n in long.sent_msgs)
+
+    def test_extrapolated_frames_scale_traffic_exactly(self):
+        explicit = sim_for(JACOBI_SRC, (2, 1), chunks=1).run(40,
+                                                             warmup=40)
+        extrap = sim_for(JACOBI_SRC, (2, 1), chunks=1).run(40, warmup=4)
+        assert extrap.sent_bytes == explicit.sent_bytes
+        assert extrap.recv_msgs == explicit.recv_msgs
+
+    def test_health_samples_mirror_the_live_board_shape(self):
+        out = sim_for(JACOBI_SRC, (2, 1), chunks=1).run(6)
+        samples = out.health_samples()
+        assert len(samples) == len(out.per_rank)
+        for s in samples:
+            assert s.state == "done"
+            assert s.frame == 5
+            assert s.sent_bytes == out.sent_bytes[s.rank]
+            assert s.t_s == out.per_rank[s.rank]
