@@ -150,6 +150,39 @@ def runtime_halo_exchange():
     return {"exchanges": world.trace.count("exchange")}
 
 
+@scenario("runtime.halo_overlap", tags=("runtime", "quick"))
+def runtime_halo_overlap():
+    """The ``runtime.halo_exchange`` workload through the nonblocking
+    path: begin posts Isend/Irecv, interior-sized numpy work runs while
+    the faces fly, finish drains.  Compare against the blocking twin to
+    read the hidden-latency payoff straight off the trajectory."""
+    rounds = 20
+    dims = (2, 2)
+    grid = GridGeometry((96, 96))
+    part = Partition(grid, dims)
+    ghosts = GhostSpec(((1, 1), (1, 1)))
+    dim_map = (0, 1)
+
+    def body(comm):
+        cart = CartComm(comm, dims)
+        sub = part.subgrid(comm.rank)
+        bounds = ghost_bounds(part, comm.rank, dim_map,
+                              [(1, 96), (1, 96)], ghosts)
+        local = OffsetArray.from_bounds(bounds, name="v")
+        spec = HaloSpec(local, dim_map, sub.owned, ((1, 1), (1, 1)))
+        interior = np.zeros((46, 46), dtype=np.float32)
+        for _ in range(rounds):
+            ex = HaloExchanger(cart, [spec])
+            ex.begin()
+            # stand-in interior compute while messages are in flight
+            interior += 0.25 * interior
+            ex.finish()
+
+    world = spmd_run(4, body)
+    return {"exchanges": world.trace.count("exchange"),
+            "overlap_windows": world.trace.count("overlap")}
+
+
 @scenario("runtime.collectives", tags=("runtime",))
 def runtime_collectives():
     """4-rank binomial-tree collective mix: allreduce + bcast rounds."""
@@ -330,6 +363,30 @@ def pyback_vector_frames():
     """The same Jacobi frames through the vectorizing backend."""
     _jacobi_acfd().run_sequential(vectorize=True)
     return {"grid": "48x32", "iters": 30}
+
+
+@functools.lru_cache(maxsize=None)
+def _jacobi_parallel(overlap: str):
+    return AutoCFD.from_source(jacobi_5pt(n=48, m=32, iters=30)) \
+        .compile(partition=(2, 1), overlap=overlap)
+
+
+@scenario("pyback.jacobi_blocking", tags=("pyback",))
+def pyback_jacobi_blocking():
+    """2-rank parallel Jacobi with blocking exchanges — the baseline
+    half of the overlap pair."""
+    _jacobi_parallel("off").run_parallel(timeout=60.0)
+    return {"grid": "48x32", "iters": 30, "overlap": "off"}
+
+
+@scenario("pyback.jacobi_overlap", tags=("pyback",))
+def pyback_jacobi_overlap():
+    """The same parallel Jacobi with the split interior/boundary nests
+    and nonblocking double-buffered exchanges."""
+    result = _jacobi_parallel("on")
+    assert result.plan.overlap_enabled(1)
+    result.run_parallel(timeout=60.0)
+    return {"grid": "48x32", "iters": 30, "overlap": "on"}
 
 
 # -- simulator ---------------------------------------------------------------------

@@ -73,13 +73,22 @@ def _load(path: str) -> AutoCFD:
 
 def _compile_args(acfd: AutoCFD, args) -> list:
     results = []
+    overlap = getattr(args, "overlap", "auto")
     partitions = args.partition or []
     if args.processors is not None:
-        results.append(acfd.compile(processors=args.processors))
+        results.append(acfd.compile(processors=args.processors,
+                                    overlap=overlap))
     for dims in partitions:
-        results.append(acfd.compile(partition=dims))
+        results.append(acfd.compile(partition=dims, overlap=overlap))
     if not results:
-        results.append(acfd.compile())
+        results.append(acfd.compile(overlap=overlap))
+    if overlap == "on":
+        # the user asked for overlap explicitly: surface every sync the
+        # safety analysis kept blocking, with its reason
+        for result in results:
+            for sid, reason in result.report.overlap_refusals:
+                print(f"acfd: overlap refused for sync {sid}: {reason}",
+                      file=sys.stderr)
     return results
 
 
@@ -107,6 +116,11 @@ def cmd_report(args) -> int:
     print(CompilationReport.header())
     for result in results:
         print(result.report.row())
+    for result in results:
+        for sid, reason in result.report.overlap_refusals:
+            part = "x".join(str(p) for p in result.plan.partition.dims)
+            print(f"  {result.report.program} {part} sync {sid} "
+                  f"stays blocking: {reason}")
     return 0
 
 
@@ -264,6 +278,9 @@ def cmd_profile(args) -> int:
     print(f"backend: {'vectorized' if vec else 'scalar'} numpy "
           f"({result.report.vector_loops} loops vectorized, "
           f"{result.report.fallback_loops} scalar fallbacks)")
+    print(f"overlap: {result.report.overlap_syncs} of "
+          f"{len(result.plan.syncs)} combined syncs nonblocking "
+          f"(interior/boundary split)")
 
     print("\n== parallel run (observed) ==")
     par = result.run_parallel(input_text=input_text, vectorize=vec,
@@ -327,7 +344,7 @@ def cmd_chaos(args) -> int:
                        recover=not args.no_recover,
                        max_restarts=args.max_restarts, every=args.every,
                        full=args.full, timeout=args.timeout,
-                       executor=args.executor,
+                       executor=args.executor, overlap=args.overlap,
                        postmortem_dir=args.postmortem_dir)
     print(report.table())
     if args.report:
@@ -454,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--processors", "-n", type=int,
                        help="processor count (the partitioner picks the "
                             "shape)")
+        p.add_argument("--overlap", choices=("on", "off", "auto"),
+                       default="auto",
+                       help="communication/computation overlap: split "
+                            "safe consumer loops into interior+boundary "
+                            "around a nonblocking exchange (auto: "
+                            "where provably safe; on: auto + warn on "
+                            "refusals; off: always blocking)")
 
     p = sub.add_parser("compile", help="emit the generated SPMD program")
     common(p)
@@ -642,6 +666,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "quick deck")
     p.add_argument("--timeout", type=float, default=60.0,
                    help="per-attempt receive watchdog (seconds)")
+    p.add_argument("--overlap", choices=("on", "off", "auto"),
+                   default="auto",
+                   help="communication/computation overlap mode for the "
+                        "compiled runs (see 'acfd run --help')")
     p.add_argument("--executor", choices=("thread", "process"),
                    default="thread",
                    help="rank executor: in-process threads (default) or "

@@ -29,7 +29,8 @@ from repro.fortran.symbols import SymbolTable
 from repro.partition.grid import GridGeometry
 from repro.partition.halo import GhostSpec
 from repro.partition.partitioner import Partition
-from repro.sync.combine import CombinedSync, combine_regions
+from repro.sync.combine import (CombinedSync, combine_regions,
+                                merge_dim_distances)
 from repro.sync.regions import SyncRegion, upper_bound_region
 
 #: insertion modes for planned statements
@@ -60,6 +61,24 @@ class PlannedSync:
     arrays: list[tuple[str, dict[int, tuple[int, int]]]]
     member_pairs: int
     placement_slot: int
+    #: per grid dim, (minus, plus) widths merged over all arrays — the
+    #: whole aggregated message's ghost footprint (strip widths for the
+    #: overlap split)
+    dim_distances: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class OverlapDecision:
+    """Whether one combined sync runs nonblocking (begin/finish) or not.
+
+    Recorded by the restructurer when it considers splitting the loop
+    nest that consumes the exchange; ``reason`` explains a refusal in
+    the same spirit as the vectorizer's ``Fallback`` discipline.
+    """
+
+    sync_id: int
+    enabled: bool
+    reason: str = ""
 
 
 @dataclass
@@ -103,6 +122,18 @@ class ParallelPlan:
     #: pairs that actually need synchronization under the partition
     active_pairs: list[DependencePair]
     regions: list[SyncRegion]
+    #: requested overlap mode: "auto" | "on" | "off" — "on" and "auto"
+    #: both apply the safety gate (correctness is never traded away);
+    #: "on" merely surfaces refusals loudly
+    overlap: str = "auto"
+    #: per combined sync, the restructurer's verdict (filled in by
+    #: ``restructure``; deterministic, so a re-restructure of a pickled
+    #: plan reproduces the same decisions)
+    overlap_decisions: list[OverlapDecision] = field(default_factory=list)
+
+    def overlap_enabled(self, sync_id: int) -> bool:
+        return any(d.sync_id == sync_id and d.enabled
+                   for d in self.overlap_decisions)
 
     @property
     def reduction_percent(self) -> float:
@@ -167,7 +198,8 @@ def _slot_unit(frame: FrameProgram, slot: int) -> str:
 def build_plan(cu: A.CompilationUnit, partition: Partition,
                directives: AcfdDirectives | None = None, *,
                combine: bool = True,
-               eliminate_redundant: bool = True) -> ParallelPlan:
+               eliminate_redundant: bool = True,
+               overlap: str = "auto") -> ParallelPlan:
     """Run the analysis stack and produce the parallelization plan.
 
     Args:
@@ -178,7 +210,12 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
         combine: apply the combining optimization (ablation hook).
         eliminate_redundant: apply redundant-pair elimination (ablation
             hook).
+        overlap: halo-overlap mode ("auto" | "on" | "off"); the
+            restructurer records its per-sync decisions on the plan.
     """
+    if overlap not in ("auto", "on", "off"):
+        raise CodegenError(f"overlap mode {overlap!r} not in "
+                           f"('auto', 'on', 'off')")
     if directives is None:
         directives = cu.directives  # type: ignore[assignment]
     with obs.span("frame-program", cat="compile") as sp:
@@ -283,7 +320,8 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
             insertion=_slot_insertion(frame, group.placement),
             arrays=merged,
             member_pairs=len(group.regions),
-            placement_slot=group.placement))
+            placement_slot=group.placement,
+            dim_distances=merge_dim_distances(merged)))
 
     # --- ghost geometry per array -------------------------------------------
     main_table: SymbolTable = cu.main.symbols  # type: ignore[assignment]
@@ -383,4 +421,4 @@ def build_plan(cu: A.CompilationUnit, partition: Partition,
         arrays=arrays, syncs=syncs, pipes=pipe_plans,
         reductions=reductions, frame=frame,
         syncs_before=syncs_before, syncs_after=syncs_after,
-        active_pairs=active, regions=regions)
+        active_pairs=active, regions=regions, overlap=overlap)

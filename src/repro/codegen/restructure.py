@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.analysis.field_loops import classify_unit
 from repro.analysis.stencil import SubscriptKind, analyze_subscript
-from repro.codegen.plan import ParallelPlan
+from repro.codegen.plan import OverlapDecision, ParallelPlan, PlannedSync
 from repro.errors import CodegenError
 from repro.fortran import ast as A
 from repro.fortran.symbols import SymbolTable, resolve_compilation_unit
@@ -81,6 +81,7 @@ class Restructurer:
             self._rewrite_declarations(unit)
             self._transform_unit_body(unit)
             self._transform_io(unit)
+        self._apply_overlap()
         # re-resolve: new statements reference acfd_* externals
         resolve_compilation_unit(self.cu)
         return self.cu
@@ -417,6 +418,353 @@ class Restructurer:
                 and print_expr(read.left) == print_expr(anchor):
             return True
         return False
+
+    # -- halo overlap: interior/boundary loop splitting ---------------------------
+    #
+    # Each blocking ``call acfd_exchange(k, ...)`` directly followed by a
+    # provably order-independent field-loop nest is rewritten as::
+    #
+    #     call acfd_exchange_begin(k, ...)   ! post isend/irecv, pack faces
+    #     do <interior nest>                 ! no ghost reads: runs in flight
+    #     call acfd_exchange_finish(k, ...)  ! wait + unpack all faces
+    #     do <boundary strips>               ! the peeled ghost-reading rim
+    #
+    # The boundary strip along each cut dimension is as wide as the
+    # combined point's merged ghost footprint (``PlannedSync.dim_distances``),
+    # so interior iterations can never read a ghost cell that is still in
+    # flight.  Safety follows the vectorizer's ``Fallback`` discipline:
+    # any nest outside the provable subset refuses with a recorded reason
+    # and keeps the blocking exchange.
+
+    def _apply_overlap(self) -> None:
+        from repro.interp.vectorize import goto_targets
+        self.plan.overlap_decisions = []
+        if self.plan.overlap == "off":
+            self.plan.overlap_decisions = [
+                OverlapDecision(s.sync_id, False,
+                                "overlap disabled (mode off)")
+                for s in self.plan.syncs]
+            return
+        if not self.plan.syncs:
+            return
+        classifications = {u.name: classify_unit(u, self.directives)
+                           for u in self.cu.units}
+        self._diag_arrays = self._diagonal_readers(classifications)
+        syncs_by_id = {s.sync_id: s for s in self.plan.syncs}
+        decided: dict[int, OverlapDecision] = {}
+        for unit in self.cu.units:
+            targets = frozenset(goto_targets(unit))
+            self._overlap_walk(unit, unit.body, [],
+                               classifications[unit.name], targets,
+                               syncs_by_id, decided)
+        for sync in self.plan.syncs:
+            self.plan.overlap_decisions.append(decided.get(
+                sync.sync_id,
+                OverlapDecision(sync.sync_id, False,
+                                "no loop nest follows the exchange")))
+
+    def _diagonal_readers(self, classifications) -> set[str]:
+        """Status arrays some nest reads diagonally across >= 2 cut dims.
+
+        The blocking exchange propagates corner ghosts by ordering the
+        dimensions (later faces carry earlier dims' fresh ghosts);
+        ``begin()`` packs every face at once and ships stale corners, so
+        a combined point covering such an array on >= 2 cut dimensions
+        must stay blocking.
+        """
+        out: set[str] = set()
+        for cls in classifications.values():
+            table: SymbolTable = cls.unit.symbols  # type: ignore[assignment]
+            for fl in cls.field_loops:
+                for use in fl.uses.values():
+                    if use.irregular:
+                        out.add(use.array)
+                        continue
+                    sym = table.get(use.array)
+                    if sym is None or sym.array is None:
+                        continue
+                    dim_map = self.directives.status_dims(
+                        use.array, sym.array.rank)
+                    for ap in use.reads:
+                        hot = 0
+                        for adim, sub in enumerate(ap.subs):
+                            g = dim_map[adim] if adim < len(dim_map) \
+                                else None
+                            if g is None or g not in self.cut:
+                                continue
+                            if sub.kind is SubscriptKind.INDUCTION:
+                                if sub.offset != 0:
+                                    hot += 1
+                            elif sub.kind is SubscriptKind.CONSTANT:
+                                pass
+                            elif sub.kind is SubscriptKind.STRIDED \
+                                    and sub.distance == 0:
+                                pass
+                            else:  # strided with reach, or irregular
+                                hot += 2
+                        if hot >= 2:
+                            out.add(use.array)
+                            break
+        return out
+
+    def _overlap_walk(self, unit: A.ProgramUnit, body: list[A.Stmt],
+                      tails: list[list[A.Stmt]], cls, targets: frozenset,
+                      syncs_by_id: dict, decided: dict) -> None:
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            if (isinstance(stmt, A.CallStmt)
+                    and stmt.name == "acfd_exchange" and stmt.args
+                    and isinstance(stmt.args[0], A.IntLit)):
+                sid = stmt.args[0].value
+                sync = syncs_by_id.get(sid)
+                nxt = body[i + 1] if i + 1 < len(body) else None
+                if sync is not None and sid not in decided:
+                    if isinstance(nxt, A.DoLoop):
+                        verdict, splits, facts = self._overlap_verdict(
+                            unit, cls, targets, sync, nxt,
+                            [body[i + 2:]] + tails)
+                        decided[sid] = verdict
+                        if verdict.enabled:
+                            repl = self._split_nest(sync, nxt, facts,
+                                                    splits)
+                            body[i:i + 2] = repl
+                            i += len(repl)
+                            continue
+                    elif (isinstance(nxt, A.CallStmt)
+                          and nxt.name == "acfd_pipe_recv"):
+                        decided[sid] = OverlapDecision(
+                            sid, False,
+                            "consumer loop is pipelined (self-dependent): "
+                            "its wavefront needs the ghosts immediately")
+                    else:
+                        decided[sid] = OverlapDecision(
+                            sid, False, "no loop nest follows the exchange")
+            elif isinstance(stmt, (A.DoLoop, A.DoWhile)):
+                self._overlap_walk(unit, stmt.body,
+                                   [body[i + 1:], stmt.body] + tails,
+                                   cls, targets, syncs_by_id, decided)
+            elif isinstance(stmt, A.IfBlock):
+                for _cond, arm in stmt.arms:
+                    self._overlap_walk(unit, arm, [body[i + 1:]] + tails,
+                                       cls, targets, syncs_by_id, decided)
+            i += 1
+
+    def _overlap_verdict(self, unit: A.ProgramUnit, cls, targets: frozenset,
+                         sync: PlannedSync, loop: A.DoLoop,
+                         tails: list[list[A.Stmt]]):
+        from repro.analysis.vecsafety import analyze_nest
+        sid = sync.sync_id
+
+        def refuse(reason: str):
+            return OverlapDecision(sid, False, reason), None, None
+
+        fl = cls.by_loop.get(id(loop))
+        if fl is None:
+            return refuse("the loop after the exchange is not a "
+                          "field-loop nest")
+        facts = analyze_nest(loop, unit.symbols, targets)
+        if not facts.ok:
+            return refuse(f"consumer nest is not provably "
+                          f"order-independent: {facts.reason}")
+        labels = set()
+        for s in A.walk_statements([loop]):
+            if s.label is not None:
+                labels.add(s.label)
+            if isinstance(s, A.DoLoop) and s.end_label is not None:
+                labels.add(s.end_label)
+        if labels & targets:
+            return refuse("a label inside the nest is a goto target")
+        active = [(g, sync.dim_distances[g]) for g in sorted(self.cut)
+                  if sync.dim_distances.get(g, (0, 0)) != (0, 0)]
+        if not active:
+            return refuse("exchange has no ghost footprint on a cut "
+                          "dimension")
+        splits: list[tuple[int, int, int, int]] = []
+        for g, (dm, dp) in active:
+            var = fl.sweeps.get(g)
+            if var is None or var not in facts.nest_vars:
+                return refuse(f"nest does not sweep grid dimension "
+                              f"{g + 1} that the exchange ships ghosts "
+                              f"for")
+            level = facts.nest_vars.index(var)
+            lv = facts.levels[level]
+            if lv.step is not None and not (
+                    isinstance(lv.step, A.IntLit) and lv.step.value == 1):
+                return refuse(f"non-unit stride on the loop over grid "
+                              f"dimension {g + 1}")
+            splits.append((level, g, dm, dp))
+        if len(active) >= 2:
+            hot = {name for name, _d in sync.arrays} & self._diag_arrays
+            if hot:
+                return refuse(
+                    f"diagonal (corner) reads of {sorted(hot)} need the "
+                    f"ordered two-phase exchange")
+        names = (set(facts.temps) | set(facts.nest_vars)) \
+            - set(facts.reductions)
+        for seg in tails:
+            hit = self._scan_reads(seg, set(names))
+            if hit is not None:
+                return refuse(f"scalar {hit!r} may be read after the "
+                              f"nest (splitting changes its exit value)")
+        splits.sort()
+        return OverlapDecision(sid, True, ""), splits, facts
+
+    # -- liveness scan: is a nest-local scalar read after the nest? ---------------
+
+    def _scan_reads(self, stmts: list[A.Stmt],
+                    live: set[str]) -> str | None:
+        """First name in *live* read before re-assignment, else None.
+
+        Kills persist along one statement list; kills inside nested
+        (conditionally executed) bodies do not escape them.  A DO kills
+        its variable even on zero trips (Fortran assigns it on entry).
+        """
+        for stmt in stmts:
+            if not live:
+                return None
+            hit = self._scan_stmt(stmt, live)
+            if hit is not None:
+                return hit
+        return None
+
+    def _scan_stmt(self, stmt: A.Stmt, live: set[str]) -> str | None:
+        def reads(expr) -> str | None:
+            if expr is None:
+                return None
+            for node in A.walk(expr):
+                if isinstance(node, A.Var) and node.name in live:
+                    return node.name
+            return None
+
+        if isinstance(stmt, A.Assign):
+            hit = reads(stmt.value)
+            if hit is None and isinstance(stmt.target, A.ArrayRef):
+                for sub in stmt.target.subs:
+                    hit = hit or reads(sub)
+            if hit is not None:
+                return hit
+            if isinstance(stmt.target, A.Var):
+                live.discard(stmt.target.name)
+            return None
+        if isinstance(stmt, A.DoLoop):
+            for e in (stmt.start, stmt.stop, stmt.step):
+                hit = reads(e)
+                if hit is not None:
+                    return hit
+            inner = set(live)
+            inner.discard(stmt.var)
+            hit = self._scan_reads(stmt.body, inner)
+            if hit is not None:
+                return hit
+            live.discard(stmt.var)
+            return None
+        if isinstance(stmt, A.DoWhile):
+            hit = reads(stmt.cond)
+            return hit if hit is not None \
+                else self._scan_reads(stmt.body, set(live))
+        if isinstance(stmt, A.IfBlock):
+            for cond, arm in stmt.arms:
+                hit = reads(cond)
+                if hit is None:
+                    hit = self._scan_reads(arm, set(live))
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(stmt, A.LogicalIf):
+            hit = reads(stmt.cond)
+            return hit if hit is not None \
+                else self._scan_stmt(stmt.stmt, set(live))
+        # anything else (calls, I/O, exits): every Var counts as a read
+        for node in A.walk(stmt):
+            if isinstance(node, A.Var) and node.name in live:
+                return node.name
+        return None
+
+    # -- split emission ------------------------------------------------------------
+
+    def _split_nest(self, sync: PlannedSync, loop: A.DoLoop, facts,
+                    splits: list[tuple[int, int, int, int]]) -> list[A.Stmt]:
+        def args() -> list[A.Expr]:
+            out: list[A.Expr] = [_int(sync.sync_id)]
+            out.extend(A.Var(name) for name, _d in sync.arrays)
+            return out
+
+        begin = _call("acfd_exchange_begin", *args())
+        finish = _call("acfd_exchange_finish", *args())
+        interior = self._nest_copy(
+            loop, facts,
+            {lvl: ("interior", g, dm, dp) for lvl, g, dm, dp in splits})
+        out: list[A.Stmt] = [begin, interior, finish]
+        # Boundary strips peel outermost-first: strip k covers the rim
+        # along its own dimension restricted to the interior of every
+        # dimension peeled before it, so the strips and the interior
+        # tile the clamped iteration box exactly once (no iteration runs
+        # twice — reductions stay exact).
+        for k, (lvl, g, dm, dp) in enumerate(splits):
+            base = {lv: ("interior", gg, dmm, dpp)
+                    for lv, gg, dmm, dpp in splits[:k]}
+            if dm > 0:
+                out.append(self._nest_copy(
+                    loop, facts, {**base, lvl: ("low", g, dm, dp)}))
+            if dp > 0:
+                out.append(self._nest_copy(
+                    loop, facts, {**base, lvl: ("high", g, dm, dp)}))
+        return out
+
+    def _nest_copy(self, loop: A.DoLoop, facts,
+                   overrides: dict[int, tuple]) -> A.DoLoop:
+        """Deep copy of the nest with strip/interior bounds at levels.
+
+        For a level with clamped bounds [cs, ce], owned range
+        [lo, hi] = [acfd_lo(g), acfd_hi(g)] and footprint (dm, dp):
+
+        * interior: [max0(cs, lo + dm), min0(ce, hi - dp)]
+        * low strip: [cs, min0(ce, lo + dm - 1)]
+        * high strip: [max0(interior start, interior stop + 1), ce]
+
+        The high strip starting after the (possibly empty) interior
+        keeps the three ranges an exact disjoint cover of [cs, ce] even
+        on owned blocks thinner than dm + dp.
+        """
+        new = copy.deepcopy(loop)
+        for s in A.walk_statements([new]):
+            s.label = None
+            if isinstance(s, A.DoLoop):
+                s.end_label = None
+        cur: A.DoLoop = new
+        for depth in range(len(facts.levels)):
+            ov = overrides.get(depth)
+            if ov is not None:
+                mode, g, dm, dp = ov
+                lo = _fn("acfd_lo", _int(g + 1))
+                hi = _fn("acfd_hi", _int(g + 1))
+
+                def plus(e: A.Expr, k: int) -> A.Expr:
+                    return e if k == 0 else A.BinOp("+", e, _int(k))
+
+                def minus(e: A.Expr, k: int) -> A.Expr:
+                    return e if k == 0 else A.BinOp("-", e, _int(k))
+
+                if mode == "interior":
+                    if dm:
+                        cur.start = _fn("max0", cur.start, plus(lo, dm))
+                    if dp:
+                        cur.stop = _fn("min0", cur.stop, minus(hi, dp))
+                elif mode == "low":
+                    cur.stop = _fn("min0", cur.stop, plus(lo, dm - 1))
+                else:  # high
+                    i_start = _fn("max0", copy.deepcopy(cur.start),
+                                  plus(lo, dm)) if dm \
+                        else copy.deepcopy(cur.start)
+                    i_stop = _fn("min0", copy.deepcopy(cur.stop),
+                                 minus(copy.deepcopy(hi), dp))
+                    cur.start = _fn("max0", i_start, plus(i_stop, 1))
+            if depth + 1 < len(facts.levels):
+                nxt = cur.body[0]
+                assert isinstance(nxt, A.DoLoop)
+                cur = nxt
+        return new
 
     # -- I/O ------------------------------------------------------------------------
 

@@ -128,6 +128,55 @@ class RankRuntime:
             tele.push_event(self.comm.rank, "exchange", None, 0,
                             int(sync_id))
 
+    def exchange_begin(self, sync_id: int, *arrays: OffsetArray) -> None:
+        """Post the aggregated exchange nonblocking (overlap path).
+
+        The exchanger is parked until the matching ``exchange_finish``;
+        in between the generated program runs the interior of the split
+        consumer nest while the halo messages are in flight.
+        """
+        sync_id = int(sync_id)
+        if sync_id in self._exchangers:
+            raise RuntimeCommError(
+                f"sync {sync_id}: exchange_begin called twice without "
+                f"finish")
+        sync = self.plan.syncs[sync_id - 1]
+        if len(arrays) != len(sync.arrays):
+            raise RuntimeCommError(
+                f"sync {sync_id}: {len(arrays)} arrays passed, plan has "
+                f"{len(sync.arrays)}")
+        specs = [self._halo_spec(name, arr, dists)
+                 for (name, dists), arr in zip(sync.arrays, arrays)]
+        ex = HaloExchanger(self.cart, specs, point_id=sync_id)
+        tele = self.comm.telemetry
+        if tele is None:
+            ex.begin()
+        else:
+            prev = tele.enter(3)  # S_HALO
+            try:
+                ex.begin()
+            finally:
+                tele.enter(prev)
+        self._exchangers[sync_id] = ex
+
+    def exchange_finish(self, sync_id: int, *arrays: OffsetArray) -> None:
+        """Wait on a begun exchange and unpack every ghost face."""
+        sync_id = int(sync_id)
+        ex = self._exchangers.pop(sync_id, None)
+        if ex is None:
+            raise RuntimeCommError(
+                f"sync {sync_id}: exchange_finish without a begin")
+        tele = self.comm.telemetry
+        if tele is None:
+            ex.finish()
+            return
+        prev = tele.enter(3)  # S_HALO
+        try:
+            ex.finish()
+        finally:
+            tele.enter(prev)
+            tele.push_event(self.comm.rank, "exchange", None, 0, sync_id)
+
     def pipe_recv(self, pipe_id: int, *arrays: OffsetArray) -> None:
         """Blocking receive of pipelined new values from minus neighbors."""
         pipe = self.plan.pipes[int(pipe_id) - 1]

@@ -40,6 +40,9 @@ class CommPhase:
     #: per array: per grid dim (minus, plus) ghost widths
     arrays: list[tuple[str, dict[int, tuple[int, int]]]] = field(
         default_factory=list)
+    #: the restructurer split the consumer nest: transfers fly during the
+    #: interior compute and only the residual wait serializes
+    overlap: bool = False
 
 
 @dataclass
@@ -136,7 +139,12 @@ def extract_schedule(plan: ParallelPlan) -> FrameSchedule:
     pipes_by_loop: dict[tuple[str, tuple], PipeLoopPlan] = {
         (p.unit, p.path): p for p in plan.pipes}
 
-    events: list[tuple[int, object]] = []
+    # (slot, order, phase): an exchange placed at slot s is inserted
+    # *before* the statement opening at s, so CommPhase (order 0) must
+    # precede a ComputePhase (order 1) at the same slot — the simulator's
+    # overlap model fuses an overlapped exchange with the compute phase
+    # that follows it
+    events: list[tuple[int, int, object]] = []
 
     seen_compute: set[int] = set()
     for inst in plan.frame.field_loop_instances:
@@ -151,7 +159,7 @@ def extract_schedule(plan: ParallelPlan) -> FrameSchedule:
             ops_per_point=_loop_ops_per_point(fl.loop.stmt),
             pipeline_dims=tuple(pipe.pipeline_dims) if pipe else (),
             repeat=_repeat_factor(inst, frame_node))
-        events.append((inst.open, phase))
+        events.append((inst.open, 1, phase))
         seen_compute.add(inst.open)
 
     for sync in plan.syncs:
@@ -161,7 +169,9 @@ def extract_schedule(plan: ParallelPlan) -> FrameSchedule:
             # its END DO — inside the frame, once per iteration
             if not (frame_node.open < slot <= frame_node.close):
                 continue
-        events.append((slot, CommPhase(sync.sync_id, list(sync.arrays))))
+        events.append((slot, 0, CommPhase(sync.sync_id, list(sync.arrays),
+                                          overlap=plan.overlap_enabled(
+                                              sync.sync_id))))
 
     for red in plan.reductions:
         # reductions attach to their loop instances inside the frame
@@ -169,10 +179,10 @@ def extract_schedule(plan: ParallelPlan) -> FrameSchedule:
             fl = inst.field_loop
             if fl is not None and (inst.unit_name, fl.loop.path) \
                     == (red.unit, red.path) and inside_frame(inst):
-                events.append((inst.close,
+                events.append((inst.close, 2,
                                ReducePhase(count=len(red.reductions))))
                 break
 
-    events.sort(key=lambda e: e[0])
-    schedule.phases = [phase for _slot, phase in events]
+    events.sort(key=lambda e: e[:2])
+    schedule.phases = [phase for _slot, _order, phase in events]
     return schedule

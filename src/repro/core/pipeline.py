@@ -144,7 +144,8 @@ class AutoCFD:
     def compile(self, partition: tuple[int, ...] | Partition | None = None,
                 processors: int | None = None, *,
                 combine: bool = True,
-                eliminate_redundant: bool = True) -> CompileResult:
+                eliminate_redundant: bool = True,
+                overlap: str = "auto") -> CompileResult:
         """Compile for a partition (explicit, from directives, or chosen).
 
         Args:
@@ -153,6 +154,11 @@ class AutoCFD:
                 partitioner picks the shape.
             combine: apply the combining optimization (ablation hook).
             eliminate_redundant: apply redundant-pair elimination.
+            overlap: communication/computation overlap mode — ``"auto"``
+                splits every provably safe consumer nest into interior +
+                boundary strips around a nonblocking exchange, ``"off"``
+                keeps every exchange blocking, ``"on"`` is auto plus
+                refusal reasons surfaced as warnings by the CLI.
         """
         with activate(self.obs):
             with obs.span("partitioning", cat="compile") as psp:
@@ -171,7 +177,8 @@ class AutoCFD:
                 psp.args["dims"] = "x".join(str(p) for p in part.dims)
             plan = build_plan(self.cu, part, self.directives,
                               combine=combine,
-                              eliminate_redundant=eliminate_redundant)
+                              eliminate_redundant=eliminate_redundant,
+                              overlap=overlap)
             with obs.span("codegen-restructure", cat="compile"):
                 spmd = restructure(plan)
             with obs.span("vectorize-survey", cat="compile") as vsp:
@@ -191,6 +198,11 @@ class AutoCFD:
             arrays=sorted(plan.arrays),
             vector_loops=vec_loops,
             fallback_loops=fb_loops,
+            overlap_syncs=sum(1 for d in plan.overlap_decisions
+                              if d.enabled),
+            overlap_refusals=[(d.sync_id, d.reason)
+                              for d in plan.overlap_decisions
+                              if not d.enabled],
             phases=[s for s in self.obs.spans() if s.cat == "compile"],
             metrics=self.obs.metrics.snapshot())
         return CompileResult(plan=plan, spmd_cu=spmd, report=report)

@@ -31,6 +31,10 @@ class CompilationReport:
     #: as whole-array slice statements / keeps in scalar order
     vector_loops: int = 0
     fallback_loops: int = 0
+    #: combined syncs restructured to nonblocking interior/boundary
+    #: overlap, and the per-sync refusal reasons for the rest
+    overlap_syncs: int = 0
+    overlap_refusals: list[tuple[int, str]] = field(default_factory=list)
     #: timed pre-compiler phases (``cat == "compile"`` spans, in order)
     phases: list[Span] = field(default_factory=list)
     #: phase-counter snapshot (loops scanned, syncs before/after, ...)
@@ -49,13 +53,14 @@ class CompilationReport:
         return (f"{self.program:<28s} {part:>9s} "
                 f"{self.syncs_before:>6d} {self.syncs_after:>6d} "
                 f"{self.reduction_percent:>7.1f} "
-                f"{self.vector_loops:>5d} {self.fallback_loops:>6d}")
+                f"{self.vector_loops:>5d} {self.fallback_loops:>6d} "
+                f"{self.overlap_syncs:>4d}")
 
     @staticmethod
     def header() -> str:
         return (f"{'program':<28s} {'partition':>9s} "
                 f"{'before':>6s} {'after':>6s} {'%opt':>7s} "
-                f"{'vec':>5s} {'scalar':>6s}")
+                f"{'vec':>5s} {'scalar':>6s} {'ovl':>4s}")
 
     def phase_table(self) -> str:
         """Per-phase compiler timing table (empty string if unprofiled)."""
@@ -85,6 +90,10 @@ class CompilationReport:
             "arrays": list(self.arrays),
             "vector_loops": self.vector_loops,
             "fallback_loops": self.fallback_loops,
+            "overlap_syncs": self.overlap_syncs,
+            "overlap_refusals": [
+                {"sync_id": sid, "reason": reason}
+                for sid, reason in self.overlap_refusals],
             "phases": [{"name": s.name, "dur_s": s.dur, "args": s.args}
                        for s in self.phases],
             "metrics": self.metrics,

@@ -437,6 +437,20 @@ def _goto_targets(unit: A.ProgramUnit) -> set[int]:
     return targets
 
 
+def goto_targets(unit: A.ProgramUnit) -> set[int]:
+    """Labels any GOTO in *unit* may jump to.
+
+    Shared with the overlap restructurer: both the vectorizer and the
+    interior/boundary splitter must refuse nests whose labels are jump
+    targets, since re-emitting (or duplicating) such a nest breaks the
+    unit's control flow.  The split nests this produces stay inside the
+    vectorizer's provable subset — their adjusted bounds only add
+    ``max0``/``min0`` over ``acfd_lo``/``acfd_hi``, which are invariant
+    rank-local queries — so split programs keep their slice frames.
+    """
+    return _goto_targets(unit)
+
+
 def survey(cu: A.CompilationUnit) -> tuple[int, int, list]:
     """Count (vectorized, fallback) nests and collect fallback reasons.
 

@@ -63,6 +63,12 @@ class RankBreakdown:
     send: float = 0.0
     #: injected-fault slowdowns + checkpoint/restore overhead (lost time)
     fault: float = 0.0
+    #: time halo transfers were in flight *under* interior compute
+    #: (nonblocking overlapped exchanges).  Not wall-clock of its own —
+    #: the window is compute — so it is excluded from both ``comm`` and
+    #: the compute subtraction; it measures how much exchange latency the
+    #: split consumer loop hid.
+    overlap: float = 0.0
 
     @property
     def busy(self) -> float:
@@ -77,7 +83,8 @@ class RankBreakdown:
         return {"rank": self.rank, "total": self.total,
                 "compute": self.compute, "blocked": self.blocked,
                 "halo": self.halo, "collective": self.collective,
-                "send": self.send, "fault": self.fault}
+                "send": self.send, "fault": self.fault,
+                "overlap": self.overlap}
 
 
 @dataclass
@@ -116,12 +123,28 @@ class RunRollup:
             return 0
         return max(self.ranks, key=lambda r: r.busy).rank
 
+    @property
+    def hidden_halo_fraction(self) -> float:
+        """Fraction of exchange latency hidden under interior compute.
+
+        ``overlap / (overlap + blocked)`` across all ranks: 1.0 means
+        every transfer finished before its boundary strip needed it,
+        0.0 means every wait was fully exposed (blocking exchanges, or
+        interiors too thin to cover the flight time).
+        """
+        hidden = sum(r.overlap for r in self.ranks)
+        exposed = sum(r.blocked for r in self.ranks)
+        if hidden + exposed <= 0.0:
+            return 0.0
+        return hidden / (hidden + exposed)
+
     def as_dict(self) -> dict:
         return {"source": self.source,
                 "ranks": [r.as_dict() for r in self.ranks],
                 "comm_compute_ratio": self.comm_compute_ratio,
                 "load_imbalance": self.load_imbalance,
-                "critical_path_rank": self.critical_path_rank}
+                "critical_path_rank": self.critical_path_rank,
+                "hidden_halo_fraction": self.hidden_halo_fraction}
 
     def worst_ranks(self, top: int) -> list[RankBreakdown]:
         """The *top* ranks with the most blocked time (board order)."""
@@ -159,6 +182,10 @@ class RunRollup:
         lines.append(f"comm/compute ratio {ratio_s}, load imbalance "
                      f"{self.load_imbalance:.2f}, critical-path rank "
                      f"{self.critical_path_rank}")
+        if any(r.overlap > 0.0 for r in self.ranks):
+            lines.append(f"hidden halo fraction "
+                         f"{self.hidden_halo_fraction:.2f} "
+                         f"(overlapped exchanges)")
         return "\n".join(lines)
 
 
@@ -215,6 +242,12 @@ class Timeline:
             for e in self.events:
                 if e.rank != r:
                     continue
+                if e.kind == "overlap":
+                    # in-flight window of a nonblocking exchange: the
+                    # rank computes its interior during it, so it stays
+                    # in compute — book it separately as hidden latency
+                    b.overlap += _overlap(e.t0, e.t1, w0, w1)
+                    continue
                 cat = LEAF_CATS.get(e.kind)
                 if cat is None:
                     continue
@@ -268,6 +301,11 @@ def observe_trace_histograms(registry, trace,
     wall-time the runtime accounted per receive.
     """
     for e in trace.snapshot():
+        if e.kind == "overlap":
+            if e.t1 >= e.t0:
+                registry.histogram(f"{prefix}.overlap_s").observe(
+                    e.t1 - e.t0)
+            continue
         cat = LEAF_CATS.get(e.kind)
         if cat is None:
             continue

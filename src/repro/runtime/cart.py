@@ -108,3 +108,20 @@ class CartComm:
         if neighbor is None:
             return None
         return self.comm.recv(neighbor, tag)
+
+    def isend_dir(self, dim: int, direction: int, payload, tag: int, *,
+                  move: bool = False) -> bool:
+        """Nonblocking send to the face neighbor; False at a boundary."""
+        neighbor = self.neighbor(dim, direction)
+        if neighbor is None:
+            return False
+        self.comm.isend(neighbor, payload, tag, move=move)
+        return True
+
+    def irecv_dir(self, dim: int, direction: int, tag: int):
+        """Nonblocking receive from the face neighbor; a ``Request`` whose
+        ``wait()`` yields the payload, or None at a boundary."""
+        neighbor = self.neighbor(dim, direction)
+        if neighbor is None:
+            return None
+        return self.comm.irecv(neighbor, tag)

@@ -560,13 +560,23 @@ class Communicator:
                 tele.recvd(msg.source, nbytes, msg.tag, waited)
         return msg.payload
 
-    def isend(self, dest: int, obj, tag: int = 0) -> Request:
-        self.send(dest, obj, tag)
+    def isend(self, dest: int, obj, tag: int = 0, *,
+              move: bool = False) -> Request:
+        self.send(dest, obj, tag, move=move)
         return Request(lambda: None)
 
     def irecv(self, source: int | None = None, tag: int | None = None) -> Request:
         return Request(lambda: self.recv(source, tag),
                        poll=lambda: self.probe(source, tag))
+
+    def waitall(self, requests) -> list:
+        """Complete a batch of requests; results in request order.
+
+        ``wait()`` is idempotent (completion is cached), so a request
+        that already completed via ``test()`` contributes its cached
+        result without re-receiving or double-recording trace events.
+        """
+        return [r.wait() for r in requests]
 
     def sendrecv(self, dest: int, obj, source: int | None = None,
                  send_tag: int = 0, recv_tag: int | None = None):

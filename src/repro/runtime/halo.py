@@ -20,6 +20,7 @@ owned block (the restructurer sizes them), so sections can be addressed in
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 
@@ -34,9 +35,18 @@ from repro.runtime.trace import TraceEvent
 #: + (direction + 1).
 _HALO_TAG_BASE = 1 << 16
 
+#: The halo tag space ends where the pipeline tag space begins (1 << 17,
+#: see ``repro.codegen.rtadapter``), which caps the combined-point id:
+#: point_id * 64 must stay below 2**17 - 2**16.
+MAX_HALO_POINTS = ((1 << 17) - _HALO_TAG_BASE) // 64
+
 
 def halo_tag(point_id: int, dim: int, direction: int) -> int:
     """Message tag for one (combined sync, dim, direction) face transfer."""
+    if not 0 <= point_id < MAX_HALO_POINTS:
+        raise RuntimeCommError(
+            f"halo point_id {point_id} outside [0, {MAX_HALO_POINTS}): "
+            f"its tags would stride into the pipeline tag space")
     return _HALO_TAG_BASE + point_id * 64 + dim * 4 + (direction + 1)
 
 
@@ -62,6 +72,11 @@ class BufferPool:
         self.drains = 0
 
     def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        # zero-size buffers are never pooled (release skips them), so
+        # they must not count as outstanding either: an acquire/release
+        # cycle of an empty face would otherwise leak in drain()'s books
+        if math.prod(shape) == 0:
+            return np.empty(shape, dtype)
         key = (tuple(shape), np.dtype(dtype).str)
         with self._lock:
             self.outstanding += 1
@@ -79,6 +94,8 @@ class BufferPool:
             return
         key = (buf.shape, buf.dtype.str)
         with self._lock:
+            # a buffer turned away because the free list is full still
+            # decrements outstanding — it was returned, just not pooled
             self.outstanding = max(0, self.outstanding - 1)
             stack = self._free.setdefault(key, [])
             if len(stack) < self._max_per_key:
@@ -210,10 +227,20 @@ class HaloExchanger:
 
     def __init__(self, cart: CartComm, specs: list[HaloSpec],
                  point_id: int = 0, pool: BufferPool | None = None) -> None:
+        if not 0 <= point_id < MAX_HALO_POINTS:
+            raise RuntimeCommError(
+                f"combined sync point id {point_id} exceeds the halo tag "
+                f"space (max {MAX_HALO_POINTS - 1}); tags would collide "
+                f"with pipeline transfers")
         self.cart = cart
         self.specs = specs
         self.point_id = point_id
         self.pool = _SHARED_POOL if pool is None else pool
+        #: in-flight receives posted by begin(), drained by finish():
+        #: (dim, direction, Request) triples, or None when idle
+        self._pending: list[tuple[int, int, object]] | None = None
+        self._t_begin0 = 0.0
+        self._t_begin1 = 0.0
 
     def exchange(self) -> None:
         """One aggregated exchange: one message per neighbor, all arrays.
@@ -261,6 +288,89 @@ class HaloExchanger:
         if timed:
             trace.record(TraceEvent(comm.rank, "exchange", None, 0,
                                     self.point_id, t0=tx0, t1=trace.now()))
+
+    def begin(self) -> None:
+        """Post the whole aggregated exchange without completing it.
+
+        All receives are posted first (as nonblocking requests), then
+        every face of every dimension is packed and shipped at once.
+        Unlike :meth:`exchange`, *no* ghost layer is touched here: the
+        received payloads stay queued in the transport until
+        :meth:`finish` unpacks them, so the caller can keep computing on
+        interior cells — and even keep *reading* the current ghost values
+        — while the messages are in flight.  That queueing is the double
+        buffer: frame N+1's receives cannot clobber the faces frame N's
+        boundary strip still reads, because unpacking only happens in
+        the matching ``finish()``.
+
+        Corner caveat: because every dimension's faces are packed before
+        any ghost arrives, the sections shipped for later dimensions
+        carry *stale* ghost values in the regions the blocking path
+        would have refreshed first (the two-phase corner propagation in
+        :meth:`exchange`).  Callers that need diagonal/corner ghost
+        values must use the blocking path — the restructurer's overlap
+        gate enforces this.
+        """
+        if self._pending is not None:
+            raise RuntimeCommError(
+                f"halo exchange {self.point_id} begun twice without finish")
+        comm = self.cart.comm
+        trace = comm.trace
+        timed = trace.enabled
+        self._t_begin0 = trace.now() if timed else 0.0
+        pending: list[tuple[int, int, object]] = []
+        for dim in range(self.cart.ndims):
+            for direction in (-1, 1):
+                req = self.cart.irecv_dir(
+                    dim, direction, halo_tag(self.point_id, dim, -direction))
+                if req is not None:
+                    pending.append((dim, direction, req))
+        for dim in range(self.cart.ndims):
+            for direction in (-1, 1):
+                if self.cart.neighbor(dim, direction) is None:
+                    continue
+                tp0 = trace.now() if timed else 0.0
+                payload = [spec.send_section(dim, direction, self.pool)
+                           for spec in self.specs]
+                if timed:
+                    trace.record(TraceEvent(
+                        comm.rank, "halo_pack", None,
+                        sum(int(b.nbytes) for b in payload),
+                        halo_tag(self.point_id, dim, direction),
+                        t0=tp0, t1=trace.now()))
+                self.cart.isend_dir(dim, direction, payload,
+                                    halo_tag(self.point_id, dim, direction),
+                                    move=True)
+        self._pending = pending
+        self._t_begin1 = trace.now() if timed else 0.0
+
+    def finish(self) -> None:
+        """Complete a begun exchange: wait on every receive and unpack.
+
+        The window between ``begin()`` returning and ``finish()`` being
+        entered is recorded as an ``overlap`` span — halo latency hidden
+        behind the caller's interior compute — and the whole
+        begin-to-finish extent as the usual ``exchange`` envelope, so
+        frame inference and roll-ups see the same shape as the blocking
+        path.
+        """
+        if self._pending is None:
+            raise RuntimeCommError(
+                f"halo exchange {self.point_id} finished without begin")
+        pending, self._pending = self._pending, None
+        comm = self.cart.comm
+        trace = comm.trace
+        timed = trace.enabled
+        if timed:
+            trace.record(TraceEvent(
+                comm.rank, "overlap", None, 0, self.point_id,
+                t0=self._t_begin1, t1=trace.now()))
+        for dim, direction, req in pending:
+            self._unpack(dim, direction, req.wait())
+        if timed:
+            trace.record(TraceEvent(
+                comm.rank, "exchange", None, 0, self.point_id,
+                t0=self._t_begin0, t1=trace.now()))
 
     def _unpack(self, dim: int, direction: int,
                 payload: list[np.ndarray]) -> None:

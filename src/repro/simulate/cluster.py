@@ -51,6 +51,10 @@ class SimResult:
     comm_time: list[float]
     pipe_wait: list[float]
     frames: int
+    #: per-rank wait that interior compute absorbed (overlapped exchanges
+    #: only): the difference between what a blocking exchange would have
+    #: stalled and what the residual wait actually cost
+    overlap_time: list[float] = field(default_factory=list)
     oom_ranks: list[int] = field(default_factory=list)
     working_set: list[int] = field(default_factory=list)
     #: per-phase simulated spans (populated with ``record_timeline=True``)
@@ -83,11 +87,13 @@ class SimResult:
         the simulator does not split out pack/send/collective time.
         """
         fault = self.fault_time or [0.0] * len(self.per_rank)
+        hidden = self.overlap_time or [0.0] * len(self.per_rank)
         ranks = [RankBreakdown(rank=r, total=self.per_rank[r],
                                compute=self.compute_time[r],
                                blocked=self.pipe_wait[r],
                                halo=self.comm_time[r],
-                               fault=fault[r])
+                               fault=fault[r],
+                               overlap=hidden[r])
                  for r in range(len(self.per_rank))]
         return RunRollup(source="simulated", ranks=ranks)
 
@@ -252,12 +258,19 @@ class ClusterSim:
             pipe_wait[r] += waited
             t[r] = end
 
-    def _do_comm(self, t: list[float], comm: list[float],
-                 phase: CommPhase) -> None:
-        """One combined synchronization: aggregated neighbor exchange."""
+    def _comm_times(self, t: list[float],
+                    phase: CommPhase) -> tuple[list[float], list[float]]:
+        """Per-rank (send injection done, last expected arrival) times.
+
+        Shared between the blocking and the overlapped exchange models;
+        also charges the run's traffic counters.
+        """
         net = self.network
-        start = list(t)
-        # 1. sends serialize through each NIC starting at the local clock
+        # 1. sends serialize through each NIC starting at the local clock;
+        #    the wire latency rides each message *after* injection (LogP's
+        #    o then L), so a sender's clock only pays NIC time — flight
+        #    time lands on the receiving side and is what a split
+        #    consumer loop can hide
         injection_end: dict[tuple[int, int], float] = {}
         send_done = list(t)
         total_bytes = 0
@@ -275,8 +288,8 @@ class ClusterSim:
                     total_bytes += nbytes
                     self._sent_b[r] += nbytes
                     self._sent_n[r] += 1
-                    clock += net.injection_time(nbytes) + net.latency
-                    injection_end[(r, n)] = clock
+                    clock += net.injection_time(nbytes)
+                    injection_end[(r, n)] = clock + net.latency
             send_done[r] = clock
         # shared medium (hub Ethernet): the whole exchange's traffic
         # serializes on one wire, so nobody finishes before the wire drains
@@ -284,8 +297,8 @@ class ClusterSim:
         if net.shared_medium and total_bytes:
             wire_done = min(t) + net.wire_time(total_bytes) + net.latency
         # 2. receives complete when every expected message has arrived
+        arrival = list(send_done)
         for r in range(self.size):
-            done = send_done[r]
             received_any = False
             for dim in self.partition.cut_dims:
                 for direction in (-1, 1):
@@ -299,13 +312,21 @@ class ClusterSim:
                     received_any = True
                     self._recv_b[r] += nbytes
                     self._recv_n[r] += 1
-                    arrival = injection_end.get((n, r))
-                    if arrival is not None:
-                        done = max(done, arrival)
+                    end = injection_end.get((n, r))
+                    if end is not None:
+                        arrival[r] = max(arrival[r], end)
             if received_any:
-                done = max(done, wire_done)
-            comm[r] += done - t[r]
-            t[r] = done
+                arrival[r] = max(arrival[r], wire_done)
+        return send_done, arrival
+
+    def _do_comm(self, t: list[float], comm: list[float],
+                 phase: CommPhase) -> None:
+        """One combined synchronization: aggregated neighbor exchange."""
+        start = list(t)
+        _send_done, arrival = self._comm_times(t, phase)
+        for r in range(self.size):
+            comm[r] += arrival[r] - t[r]
+            t[r] = arrival[r]
         if self.barrier_syncs and self.partition.cut_dims:
             done = max(t)
             for r in range(self.size):
@@ -314,6 +335,43 @@ class ClusterSim:
         for r in range(self.size):
             self._mark(r, f"exchange#{phase.sync_id}", "halo",
                        start[r], t[r], sync_id=phase.sync_id)
+
+    def _do_comm_overlap(self, t: list[float], comm: list[float],
+                         compute: list[float], overlap: list[float],
+                         phase: CommPhase, cphase: ComputePhase) -> None:
+        """Overlapped exchange fused with its split consumer loop.
+
+        The nonblocking path posts the same messages at the same program
+        point as the blocking exchange (injection still serializes through
+        the NIC), but the consumer's interior runs while they fly: only
+        the residual wait — arrival time minus injection minus interior
+        work — still stalls the rank.  The stall a blocking exchange
+        would have paid minus that residual is accounted as hidden
+        (``overlap``) time.  No barrier: each rank proceeds as soon as
+        its own faces have landed.
+        """
+        send_done, arrival = self._comm_times(t, phase)
+        for r in range(self.size):
+            work = self._phase_points(r, cphase) * cphase.ops_per_point \
+                * cphase.repeat * self.op_time[r]
+            wait_blocking = max(0.0, arrival[r] - send_done[r])
+            wait_actual = max(0.0, arrival[r] - send_done[r] - work)
+            hidden = wait_blocking - wait_actual
+            self._mark(r, f"exchange#{phase.sync_id}", "halo",
+                       t[r], send_done[r], sync_id=phase.sync_id)
+            self._mark(r, cphase.name, "compute",
+                       send_done[r], send_done[r] + work, overlapped=1)
+            self._mark(r, f"overlap#{phase.sync_id}", "overlap",
+                       send_done[r], send_done[r] + hidden,
+                       sync_id=phase.sync_id)
+            self._mark(r, f"wait#{phase.sync_id}", "blocked",
+                       send_done[r] + work,
+                       send_done[r] + work + wait_actual,
+                       sync_id=phase.sync_id)
+            comm[r] += (send_done[r] - t[r]) + wait_actual
+            compute[r] += work
+            overlap[r] += hidden
+            t[r] = send_done[r] + work + wait_actual
 
     def _do_reduce(self, t: list[float], comm: list[float],
                    phase: ReducePhase) -> None:
@@ -376,6 +434,7 @@ class ClusterSim:
         comm = [0.0] * self.size
         pipe_wait = [0.0] * self.size
         fault = [0.0] * self.size
+        overlap = [0.0] * self.size
 
         simulated = frames if self._frame_faults \
             else min(frames, max(warmup, 2))
@@ -384,13 +443,24 @@ class ClusterSim:
         for _f in range(simulated):
             if self._frame_faults:
                 self._do_faults(_f + 1, t, fault, deltas)
-            for phase in self.schedule.phases:
+            phases = self.schedule.phases
+            i = 0
+            while i < len(phases):
+                phase = phases[i]
+                nxt = phases[i + 1] if i + 1 < len(phases) else None
                 if isinstance(phase, ComputePhase):
                     self._do_compute(t, compute, pipe_wait, phase)
                 elif isinstance(phase, CommPhase):
+                    if phase.overlap and isinstance(nxt, ComputePhase) \
+                            and not nxt.pipeline_dims:
+                        self._do_comm_overlap(t, comm, compute, overlap,
+                                              phase, nxt)
+                        i += 2
+                        continue
                     self._do_comm(t, comm, phase)
                 elif isinstance(phase, ReducePhase):
                     self._do_reduce(t, comm, phase)
+                i += 1
             deltas.append(max(t) - prev_max)
             prev_max = max(t)
 
@@ -400,8 +470,9 @@ class ClusterSim:
             scale = remaining * steady
             for r in range(self.size):
                 t[r] += scale
-            # attribute extrapolated time proportionally
-            total_known = compute[0] + comm[0] + pipe_wait[0] or 1.0
+            # attribute extrapolated time proportionally (overlap is
+            # hidden time, not wall time, so it scales by the same frame
+            # ratio but stays out of the wall-clock split)
             for r in range(self.size):
                 known = compute[r] + comm[r] + pipe_wait[r]
                 if known <= 0:
@@ -413,6 +484,7 @@ class ClusterSim:
                 compute[r] += scale * f_c
                 comm[r] += scale * f_m
                 pipe_wait[r] += scale * f_p
+            overlap = [v * frames / simulated for v in overlap]
 
         oom = [r for r in range(self.size)
                if self.machine.node.is_oom(self.working_set[r])]
@@ -428,6 +500,7 @@ class ClusterSim:
         return SimResult(total_time=max(t), per_rank=t,
                          compute_time=compute, comm_time=comm,
                          pipe_wait=pipe_wait, frames=frames,
+                         overlap_time=overlap,
                          oom_ranks=oom, working_set=list(self.working_set),
                          spans=list(self._spans), fault_time=fault,
                          **traffic)

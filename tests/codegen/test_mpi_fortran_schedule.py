@@ -29,7 +29,11 @@ class TestMpiFortran:
         res = compile_src(JACOBI_SRC, (2, 1))
         text = res.mpi_source()
         for sync in res.plan.syncs:
-            assert f"acfd_exchange_{sync.sync_id}" in text
+            if res.plan.overlap_enabled(sync.sync_id):
+                assert f"acfd_exchange_begin_{sync.sync_id}" in text
+                assert f"acfd_exchange_finish_{sync.sync_id}" in text
+            else:
+                assert f"acfd_exchange_{sync.sync_id}" in text
 
     def test_pipeline_wrappers_for_seidel(self):
         res = compile_src(SEIDEL_SRC, (2, 1))

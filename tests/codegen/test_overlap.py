@@ -1,0 +1,187 @@
+"""Interior/boundary loop splitting around nonblocking exchanges.
+
+The tentpole contract: a halo-synchronized consumer nest is rewritten to
+
+    call acfd_exchange_begin(k, ...)
+    do <interior>            ! no ghost reads, runs while messages fly
+    call acfd_exchange_finish(k, ...)
+    do <boundary strips>     ! the peeled rim that reads ghosts
+
+exactly when safety is provable, and refuses — with a recorded reason —
+otherwise, keeping the blocking exchange (the vectorizer's ``Fallback``
+discipline).
+"""
+
+import pytest
+
+from repro.apps import kernels
+from repro.codegen.normalize import normalize_compilation_unit
+from repro.codegen.plan import build_plan
+from repro.codegen.restructure import restructure
+from repro.core.pipeline import AutoCFD
+from repro.errors import CodegenError
+from repro.fortran.parser import parse_source
+from repro.fortran.printer import print_compilation_unit
+from repro.partition.grid import GridGeometry
+from repro.partition.partitioner import Partition
+
+from tests.conftest import JACOBI_SRC, SEIDEL_SRC
+
+
+def compiled(src: str, dims, overlap="auto"):
+    cu = normalize_compilation_unit(parse_source(src))
+    plan = build_plan(cu, Partition(GridGeometry(cu.directives.grid_shape),
+                                    dims), overlap=overlap)
+    text = print_compilation_unit(restructure(plan))
+    return plan, text
+
+
+def decision(plan, sync_id):
+    return next(d for d in plan.overlap_decisions if d.sync_id == sync_id)
+
+
+class TestSplitStructure:
+    def test_jacobi_splits_into_begin_interior_finish_strips(self):
+        plan, text = compiled(JACOBI_SRC, (2, 1))
+        assert decision(plan, 1).enabled
+        assert "call acfd_exchange_begin(1, v)" in text
+        assert "call acfd_exchange_finish(1, v)" in text
+        assert "acfd_exchange(1," not in text
+        # interior is clamped one layer inside the owned block; the two
+        # strips cover the peeled rim
+        begin_at = text.index("acfd_exchange_begin(1")
+        finish_at = text.index("acfd_exchange_finish(1")
+        interior = text[begin_at:finish_at]
+        assert "acfd_lo(1) + 1" in interior
+        assert "acfd_hi(1) - 1" in interior
+
+    def test_2x2_splits_both_dimensions(self):
+        plan, text = compiled(JACOBI_SRC, (2, 2))
+        assert decision(plan, 1).enabled
+        # dim 1 and dim 2 both get interior margins
+        begin_at = text.index("acfd_exchange_begin(1")
+        finish_at = text.index("acfd_exchange_finish(1")
+        interior = text[begin_at:finish_at]
+        assert "acfd_lo(1) + 1" in interior
+        assert "acfd_lo(2) + 1" in interior
+        # four boundary strips after finish (low/high per split dim)
+        tail = text[finish_at:]
+        assert tail.count("do ") >= 8  # 4 strips x 2-level nests
+
+    def test_mode_off_keeps_blocking_exchange(self):
+        plan, text = compiled(JACOBI_SRC, (2, 1), overlap="off")
+        assert "acfd_exchange_begin" not in text
+        assert "call acfd_exchange(1, v)" in text
+        assert all(not d.enabled for d in plan.overlap_decisions)
+        assert decision(plan, 1).reason == "overlap disabled (mode off)"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(CodegenError, match="overlap mode"):
+            compiled(JACOBI_SRC, (2, 1), overlap="maybe")
+
+    def test_reduction_still_allreduced_after_strips(self):
+        # err accumulates across interior + strips; the allreduce must
+        # come after every partial nest
+        _plan, text = compiled(JACOBI_SRC, (2, 1))
+        finish_at = text.index("acfd_exchange_finish(1")
+        red_at = text.index("acfd_allreduce_max")
+        assert red_at > finish_at
+
+
+class TestRefusals:
+    def test_pipelined_consumer_refused(self):
+        plan, text = compiled(SEIDEL_SRC, (2, 1))
+        d = decision(plan, 1)
+        assert not d.enabled
+        assert "pipelined" in d.reason
+        assert "acfd_exchange_begin" not in text
+
+    def test_diagonal_reader_refused_on_two_cut_dims(self):
+        acfd = AutoCFD.from_source(kernels.jacobi_9pt())
+        plan = acfd.compile(partition=(2, 2)).plan
+        d = decision(plan, 1)
+        assert not d.enabled
+        assert "corner" in d.reason or "diagonal" in d.reason
+
+    def test_diagonal_reader_allowed_on_one_cut_dim(self):
+        # with a single cut dimension there are no corner transfers, so
+        # the nine-point stencil overlaps safely
+        acfd = AutoCFD.from_source(kernels.jacobi_9pt())
+        plan = acfd.compile(partition=(2, 1)).plan
+        assert decision(plan, 1).enabled
+
+    def test_scalar_read_after_nest_refused(self):
+        # i's exit value changes when the nest is split; reading it
+        # right after the nest must refuse the overlap
+        src = JACOBI_SRC.replace(
+            "    end do\n"
+            "    do i = 2, n - 1\n"
+            "      do j = 2, m - 1\n"
+            "        v(i, j) = vnew(i, j)",
+            "    end do\n"
+            "    err = err + i\n"
+            "    do i = 2, n - 1\n"
+            "      do j = 2, m - 1\n"
+            "        v(i, j) = vnew(i, j)")
+        assert "err = err + i" in src
+        plan, text = compiled(src, (2, 1))
+        d = decision(plan, 1)
+        assert not d.enabled
+        assert "'i'" in d.reason
+        assert "acfd_exchange_begin" not in text
+
+    def test_scalar_killed_by_later_loop_is_not_live(self):
+        # the copy nest reassigns i/j before this read — the kill
+        # semantics must not false-positive on it
+        src = JACOBI_SRC.replace("    if (err .lt. eps) exit",
+                                 "    err = err + i\n"
+                                 "    if (err .lt. eps) exit")
+        plan, _ = compiled(src, (2, 1))
+        assert decision(plan, 1).enabled
+
+    def test_every_sync_gets_a_decision(self):
+        plan, _ = compiled(JACOBI_SRC, (2, 1))
+        assert {d.sync_id for d in plan.overlap_decisions} \
+            == {s.sync_id for s in plan.syncs}
+        for d in plan.overlap_decisions:
+            assert d.enabled or d.reason
+
+
+class TestReportAndPlan:
+    def test_report_counts_and_refusals(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        report = acfd.compile(partition=(2, 1)).report
+        assert report.overlap_syncs == 1
+        assert all(reason for _sid, reason in report.overlap_refusals)
+        d = report.to_dict()
+        assert d["overlap_syncs"] == 1
+        assert d["overlap_refusals"][0]["reason"]
+
+    def test_plan_overlap_enabled_query(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        plan = acfd.compile(partition=(2, 1)).plan
+        assert plan.overlap_enabled(1)
+        assert not plan.overlap_enabled(2)
+        assert not plan.overlap_enabled(999)
+
+
+class TestMpiFortranArtifact:
+    def test_overlapped_sync_prints_nonblocking_wrappers(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        result = acfd.compile(partition=(2, 1))
+        text = result.mpi_source()
+        assert "subroutine acfd_exchange_begin_1(v)" in text
+        assert "subroutine acfd_exchange_finish_1(v)" in text
+        assert "mpi_irecv" in text
+        assert "mpi_isend" in text
+        assert "mpi_waitall" in text
+        # the non-overlapped sync keeps the blocking sendrecv wrapper
+        assert "subroutine acfd_exchange_2(" in text
+        assert "mpi_sendrecv" in text
+
+    def test_blocking_mode_prints_only_sendrecv(self):
+        acfd = AutoCFD.from_source(JACOBI_SRC)
+        result = acfd.compile(partition=(2, 1), overlap="off")
+        text = result.mpi_source()
+        assert "mpi_isend" not in text
+        assert "mpi_waitall" not in text

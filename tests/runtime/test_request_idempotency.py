@@ -1,0 +1,89 @@
+"""Request completion is idempotent on both executors.
+
+``finish()`` waits on every pending receive; a retry path (or defensive
+double-wait) must not re-receive, re-record trace events, or double any
+byte counter.  ``wait()`` caches its result and ``test()`` after
+completion is a pure query — locked in here for the thread and the
+process executor, since the overlap runtime leans on it.
+"""
+
+from repro.runtime.world import spmd_run
+
+
+# module-level bodies: the process executor pickles them to workers
+
+def _wait_twice(comm):
+    if comm.rank == 0:
+        comm.send(1, {"n": 7}, tag=4)
+        return None
+    req = comm.irecv(0, tag=4)
+    first = req.wait()
+    second = req.wait()  # must be the cached result, not a new receive
+    assert first is second
+    assert first == {"n": 7}
+    return first["n"]
+
+
+def _test_after_complete(comm):
+    if comm.rank == 0:
+        comm.send(1, 99, tag=5)
+        return None
+    req = comm.irecv(0, tag=5)
+    got = req.wait()
+    # repeated polls after completion are pure queries
+    assert req.test() is True
+    assert req.test() is True
+    assert req.wait() == got
+    return got
+
+
+def _isend_wait_twice(comm):
+    if comm.rank == 0:
+        req = comm.isend(1, 13, tag=6)
+        req.wait()
+        req.wait()
+        assert req.test() is True
+        return None
+    return comm.recv(0, tag=6)
+
+
+class TestThreadExecutor:
+    def test_double_wait_receives_once(self):
+        w = spmd_run(2, _wait_twice, timeout=10.0)
+        assert w.results[1] == 7
+        # one send event, one recv event — the second wait() added nothing
+        assert w.trace.count("send") == 1
+        assert w.trace.count("recv") == 1
+        assert sum(e.nbytes for e in w.trace.snapshot()
+                   if e.kind == "recv") == \
+            sum(e.nbytes for e in w.trace.snapshot() if e.kind == "send")
+
+    def test_test_after_complete_adds_no_events(self):
+        w = spmd_run(2, _test_after_complete, timeout=10.0)
+        assert w.results[1] == 99
+        assert w.trace.count("recv") == 1
+
+    def test_isend_wait_idempotent(self):
+        w = spmd_run(2, _isend_wait_twice, timeout=10.0)
+        assert w.results[1] == 13
+        assert w.trace.count("send") == 1
+
+
+class TestProcessExecutor:
+    def test_double_wait_receives_once(self):
+        w = spmd_run(2, _wait_twice, timeout=15.0, executor="process")
+        assert w.results[1] == 7
+        assert w.trace.count("send") == 1
+        assert w.trace.count("recv") == 1
+
+    def test_test_after_complete_adds_no_events(self):
+        w = spmd_run(2, _test_after_complete, timeout=15.0,
+                     executor="process")
+        assert w.results[1] == 99
+        assert w.trace.count("recv") == 1
+
+    def test_isend_wait_idempotent(self):
+        w = spmd_run(2, _isend_wait_twice, timeout=15.0,
+                     executor="process")
+        assert w.results[1] == 13
+        assert w.trace.count("send") == 1
