@@ -43,9 +43,19 @@ class CallGraph:
         return False
 
     def call_sites(self, caller: str) -> list[A.CallStmt]:
-        unit = self.units[caller]
+        unit = self.units.get(caller)
+        if unit is None:
+            raise ValueError(
+                f"no program unit named {caller!r} in the call graph "
+                f"(units: {sorted(self.units)})")
         return [s for s in A.walk_statements(unit.body)
                 if isinstance(s, A.CallStmt) and s.name in self.units]
+
+    def site_count(self, callee: str) -> int:
+        """Static call sites of *callee* across every unit in the file."""
+        return sum(1 for unit in self.units.values()
+                   for s in A.walk_statements(unit.body)
+                   if isinstance(s, A.CallStmt) and s.name == callee)
 
 
 def build_call_graph(cu: A.CompilationUnit) -> CallGraph:
@@ -56,6 +66,80 @@ def build_call_graph(cu: A.CompilationUnit) -> CallGraph:
                    if isinstance(s, A.CallStmt) and s.name in graph.units}
         graph.edges[unit.name] = callees
     return graph
+
+
+@dataclass
+class CalleeSummary:
+    """Per-subroutine summary for interprocedural halo overlap (§5.3).
+
+    Describes the shape the overlap splitter needs: the first top-level
+    consumer nest, the scalar assignments that precede it, and the tail
+    that must run after the exchange completes.  ``refusal`` carries the
+    structural reason the callee cannot be split, or ``None`` when the
+    shape is eligible (the caller still applies plan-specific safety
+    checks: vecsafety, ghost footprint, aliasing, scalar liveness).
+    """
+
+    name: str
+    unit: A.ProgramUnit | None = None
+    #: scalar assignments before the first nest (reduction inits etc.)
+    leading: list[A.Assign] = field(default_factory=list)
+    first_nest: A.DoLoop | None = None
+    #: statements after the first nest, in original order
+    tail: list[A.Stmt] = field(default_factory=list)
+    call_sites: int = 0
+    refusal: str | None = None
+
+
+def summarize_callee(graph: CallGraph, name: str) -> CalleeSummary:
+    """Structural eligibility of subroutine *name* for a call-site split.
+
+    The splitter rewrites ``call foo()`` into two specialized
+    invocations (interior nest / boundary strips + tail), so the callee
+    must be a single-call-site, non-recursive subroutine whose body is
+    ``<scalar assignments>; <loop nest>; <tail>``.
+    """
+
+    def refuse(reason: str) -> CalleeSummary:
+        return CalleeSummary(name, unit=graph.units.get(name),
+                             refusal=reason)
+
+    unit = graph.units.get(name)
+    if unit is None:
+        return refuse("not defined in this file (external routine)")
+    if unit.kind != "subroutine":
+        return refuse(f"call target is a {unit.kind}, not a subroutine")
+    if name in graph.transitive_callees(name):
+        return refuse("callee is (mutually) recursive")
+    sites = graph.site_count(name)
+    if sites != 1:
+        return refuse(f"callee has {sites} static call sites "
+                      f"(splitting requires exactly one)")
+    leading: list[A.Assign] = []
+    first_nest: A.DoLoop | None = None
+    split_at = 0
+    for i, stmt in enumerate(unit.body):
+        if isinstance(stmt, A.DoLoop):
+            first_nest, split_at = stmt, i
+            break
+        if (isinstance(stmt, A.CallStmt)
+                and stmt.name == "acfd_pipe_recv"):
+            return refuse("first consumer nest is pipelined "
+                          "(self-dependent): its wavefront needs the "
+                          "ghosts immediately")
+        if not isinstance(stmt, A.Assign) \
+                or not isinstance(stmt.target, A.Var):
+            return refuse("statements before the first loop nest are "
+                          "not all scalar assignments")
+        if stmt.label is not None:
+            return refuse("a scalar assignment before the nest carries "
+                          "a statement label")
+        leading.append(stmt)
+    if first_nest is None:
+        return refuse("callee body contains no top-level loop nest")
+    return CalleeSummary(name, unit=unit, leading=leading,
+                         first_nest=first_nest,
+                         tail=unit.body[split_at + 1:], call_sites=sites)
 
 
 def unit_has_rtype_loop(classification: UnitClassification,

@@ -415,3 +415,261 @@ program packed
   write (6, *) 'err', err
 end program packed
 """
+
+
+def jacobi_5pt_sub(n: int = 40, m: int = 24, iters: int = 200,
+                   eps: float = 1.0e-5) -> str:
+    """Direction-split five-point Jacobi behind ``call`` boundaries.
+
+    The sprayer shape in miniature: status arrays in COMMON, the
+    relaxation direction-split across two single-call-site subroutines
+    (x-pass with the convergence reduction, then y-pass), plus a
+    copy-back subroutine.  Because ``v``'s ghosts are consumed by *two*
+    callees, the combined sync stays in the main program before
+    ``call relaxx()`` — only the interprocedural split can overlap it.
+    """
+    return f"""\
+!$acfd status v, vnew
+!$acfd grid {n} {m}
+!$acfd frame iter
+program jacobi5s
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  common /cnv/ err
+  real v, vnew, err, eps
+  eps = {eps:e}
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = 0.0
+    end do
+  end do
+  do i = 1, n
+    v(i, 1) = 1.0
+    v(i, m) = 2.0
+  end do
+  do j = 1, m
+    v(1, j) = 0.5
+    v(n, j) = 1.5
+  end do
+  do iter = 1, {iters}
+    call relaxx()
+    call relaxy()
+    call copyback()
+    if (err .lt. eps) exit
+  end do
+  write (6, *) 'iters', iter, 'err', err
+end program jacobi5s
+
+subroutine relaxx()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  common /cnv/ err
+  real v, vnew, err
+  err = 0.0
+  do i = 2, n - 1
+    do j = 2, m - 1
+      vnew(i, j) = 0.25 * (v(i-1, j) + v(i+1, j))
+      err = amax1(err, abs(vnew(i, j) - v(i, j)))
+    end do
+  end do
+end
+
+subroutine relaxy()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  real v, vnew
+  do i = 2, n - 1
+    do j = 2, m - 1
+      vnew(i, j) = vnew(i, j) + 0.25 * (v(i, j-1) + v(i, j+1))
+    end do
+  end do
+end
+
+subroutine copyback()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  real v, vnew
+  do i = 2, n - 1
+    do j = 2, m - 1
+      v(i, j) = vnew(i, j)
+    end do
+  end do
+end
+"""
+
+
+def jacobi_9pt_sub(n: int = 40, m: int = 24, iters: int = 150,
+                   eps: float = 1.0e-5) -> str:
+    """Direction-split nine-point Jacobi behind ``call`` boundaries.
+
+    The x-pass reads the corner neighbors, so on a two-cut partition
+    the interprocedural verdict must refuse (stale-corner hazard)
+    through the callee summary; on a single-cut partition the corner
+    reads are covered by the one exchanged face.
+    """
+    return f"""\
+!$acfd status v, vnew
+!$acfd grid {n} {m}
+!$acfd frame iter
+program jacobi9s
+  implicit none
+  integer n, m, i, j, iter
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  common /cnv/ err
+  real v, vnew, err, eps
+  eps = {eps:e}
+  do i = 1, n
+    do j = 1, m
+      v(i, j) = 0.01 * float(i) + 0.02 * float(j)
+    end do
+  end do
+  do iter = 1, {iters}
+    call smooth9x()
+    call smooth9y()
+    call copyback9()
+    if (err .lt. eps) exit
+  end do
+  write (6, *) 'iters', iter, 'err', err
+end program jacobi9s
+
+subroutine smooth9x()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  common /cnv/ err
+  real v, vnew, err
+  err = 0.0
+  do i = 2, n - 1
+    do j = 2, m - 1
+      vnew(i, j) = 0.125 * (v(i-1, j) + v(i+1, j)) &
+        + 0.125 * (v(i-1, j-1) + v(i-1, j+1) &
+        + v(i+1, j-1) + v(i+1, j+1)) - 0.0001
+      err = amax1(err, abs(vnew(i, j) - v(i, j)))
+    end do
+  end do
+end
+
+subroutine smooth9y()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  real v, vnew
+  do i = 2, n - 1
+    do j = 2, m - 1
+      vnew(i, j) = vnew(i, j) + 0.125 * (v(i, j-1) + v(i, j+1))
+    end do
+  end do
+end
+
+subroutine copyback9()
+  implicit none
+  integer n, m, i, j
+  parameter (n = {n}, m = {m})
+  common /fld/ v(n, m), vnew(n, m)
+  real v, vnew
+  do i = 2, n - 1
+    do j = 2, m - 1
+      v(i, j) = vnew(i, j)
+    end do
+  end do
+end
+"""
+
+
+def heat_3d_sub(n: int = 16, m: int = 12, l: int = 10, iters: int = 60,
+                eps: float = 1.0e-4) -> str:
+    """Direction-split 3-D heat diffusion behind ``call`` boundaries."""
+    return f"""\
+!$acfd status u, un
+!$acfd grid {n} {m} {l}
+!$acfd frame iter
+program heat3ds
+  implicit none
+  integer n, m, l, i, j, k, iter
+  parameter (n = {n}, m = {m}, l = {l})
+  common /fld/ u(n, m, l), un(n, m, l)
+  common /cnv/ err
+  real u, un, err, eps
+  eps = {eps:e}
+  do i = 1, n
+    do j = 1, m
+      do k = 1, l
+        u(i, j, k) = 0.0
+      end do
+    end do
+  end do
+  do j = 1, m
+    do k = 1, l
+      u(1, j, k) = 1.0
+      u(n, j, k) = 2.0
+    end do
+  end do
+  do iter = 1, {iters}
+    call diffx()
+    call diffyz()
+    call copyback3()
+    if (err .lt. eps) exit
+  end do
+  write (6, *) 'iters', iter, 'err', err
+end program heat3ds
+
+subroutine diffx()
+  implicit none
+  integer n, m, l, i, j, k
+  parameter (n = {n}, m = {m}, l = {l})
+  common /fld/ u(n, m, l), un(n, m, l)
+  common /cnv/ err
+  real u, un, err
+  err = 0.0
+  do i = 2, n - 1
+    do j = 2, m - 1
+      do k = 2, l - 1
+        un(i, j, k) = (u(i-1, j, k) + u(i+1, j, k)) / 6.0
+        err = amax1(err, abs(un(i, j, k) - u(i, j, k)))
+      end do
+    end do
+  end do
+end
+
+subroutine diffyz()
+  implicit none
+  integer n, m, l, i, j, k
+  parameter (n = {n}, m = {m}, l = {l})
+  common /fld/ u(n, m, l), un(n, m, l)
+  real u, un
+  do i = 2, n - 1
+    do j = 2, m - 1
+      do k = 2, l - 1
+        un(i, j, k) = un(i, j, k) + (u(i, j-1, k) + u(i, j+1, k) &
+          + u(i, j, k-1) + u(i, j, k+1)) / 6.0
+      end do
+    end do
+  end do
+end
+
+subroutine copyback3()
+  implicit none
+  integer n, m, l, i, j, k
+  parameter (n = {n}, m = {m}, l = {l})
+  common /fld/ u(n, m, l), un(n, m, l)
+  real u, un
+  do i = 2, n - 1
+    do j = 2, m - 1
+      do k = 2, l - 1
+        u(i, j, k) = un(i, j, k)
+      end do
+    end do
+  end do
+end
+"""

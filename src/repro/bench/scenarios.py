@@ -389,6 +389,60 @@ def pyback_jacobi_overlap():
     return {"grid": "48x32", "iters": 30, "overlap": "on"}
 
 
+@functools.lru_cache(maxsize=None)
+def _sprayer_parallel(overlap: str):
+    return AutoCFD.from_source(
+        sprayer_source(n=96, m=48, iters=6, stages=2)) \
+        .compile(partition=(2, 2), overlap=overlap)
+
+
+@functools.lru_cache(maxsize=None)
+def _aerofoil_parallel(overlap: str):
+    return AutoCFD.from_source(
+        aerofoil_source(nx=48, ny=24, nz=8, iters=4, stages=2,
+                        blayer_passes=1)) \
+        .compile(partition=(2, 2, 1), overlap=overlap)
+
+
+@scenario("pyback.sprayer_blocking", tags=("pyback",))
+def pyback_sprayer_blocking():
+    """4-rank sprayer with blocking exchanges — the app baseline for
+    the interprocedural overlap pair."""
+    _sprayer_parallel("off").run_parallel(input_text="2.5 20\n",
+                                          timeout=120.0)
+    return {"grid": "96x48", "iters": 6, "overlap": "off"}
+
+
+@scenario("pyback.sprayer_overlap", tags=("pyback",))
+def pyback_sprayer_overlap():
+    """The same sprayer with its stencil syncs split across ``call``
+    boundaries into interior/boundary specializations."""
+    result = _sprayer_parallel("on")
+    assert any(d.enabled and d.callee
+               for d in result.plan.overlap_decisions)
+    result.run_parallel(input_text="2.5 20\n", timeout=120.0)
+    return {"grid": "96x48", "iters": 6, "overlap": "on"}
+
+
+@scenario("pyback.aerofoil_blocking", tags=("pyback",))
+def pyback_aerofoil_blocking():
+    """4-rank 3-D aerofoil with blocking exchanges."""
+    _aerofoil_parallel("off").run_parallel(input_text=AEROFOIL_DECK,
+                                           timeout=120.0)
+    return {"grid": "48x24x8", "iters": 4, "overlap": "off"}
+
+
+@scenario("pyback.aerofoil_overlap", tags=("pyback",))
+def pyback_aerofoil_overlap():
+    """The same aerofoil with interprocedural overlap on the pressure
+    correction and convergence stencils."""
+    result = _aerofoil_parallel("on")
+    assert any(d.enabled and d.callee
+               for d in result.plan.overlap_decisions)
+    result.run_parallel(input_text=AEROFOIL_DECK, timeout=120.0)
+    return {"grid": "48x24x8", "iters": 4, "overlap": "on"}
+
+
 # -- simulator ---------------------------------------------------------------------
 
 @scenario("sim.sprayer_replay", tags=("sim", "quick"))

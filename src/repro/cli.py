@@ -117,8 +117,13 @@ def cmd_report(args) -> int:
     for result in results:
         print(result.report.row())
     for result in results:
+        part = "x".join(str(p) for p in result.plan.partition.dims)
+        for dec in result.report.overlap_decisions:
+            if dec["enabled"] and dec["callee"]:
+                print(f"  {result.report.program} {part} "
+                      f"sync {dec['sync_id']} overlapped across "
+                      f"call to {dec['callee']!r}")
         for sid, reason in result.report.overlap_refusals:
-            part = "x".join(str(p) for p in result.plan.partition.dims)
             print(f"  {result.report.program} {part} sync {sid} "
                   f"stays blocking: {reason}")
     return 0
@@ -278,9 +283,12 @@ def cmd_profile(args) -> int:
     print(f"backend: {'vectorized' if vec else 'scalar'} numpy "
           f"({result.report.vector_loops} loops vectorized, "
           f"{result.report.fallback_loops} scalar fallbacks)")
+    interproc = sum(1 for d in result.report.overlap_decisions
+                    if d["enabled"] and d["callee"])
     print(f"overlap: {result.report.overlap_syncs} of "
           f"{len(result.plan.syncs)} combined syncs nonblocking "
-          f"(interior/boundary split)")
+          f"(interior/boundary split, {interproc} across call "
+          f"boundaries)")
 
     print("\n== parallel run (observed) ==")
     par = result.run_parallel(input_text=input_text, vectorize=vec,

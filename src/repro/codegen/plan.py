@@ -74,11 +74,14 @@ class OverlapDecision:
     Recorded by the restructurer when it considers splitting the loop
     nest that consumes the exchange; ``reason`` explains a refusal in
     the same spirit as the vectorizer's ``Fallback`` discipline.
+    ``callee`` names the subroutine when the verdict crossed a ``call``
+    boundary (interprocedural split or in-callee refusal), else "".
     """
 
     sync_id: int
     enabled: bool
     reason: str = ""
+    callee: str = ""
 
 
 @dataclass

@@ -450,13 +450,26 @@ class Restructurer:
         classifications = {u.name: classify_unit(u, self.directives)
                            for u in self.cu.units}
         self._diag_arrays = self._diagonal_readers(classifications)
+        self._unit_names = {u.name for u in self.cu.units}
         syncs_by_id = {s.sync_id: s for s in self.plan.syncs}
         decided: dict[int, OverlapDecision] = {}
-        for unit in self.cu.units:
+        # pass 1: intra-unit splits (exchange directly followed by a
+        # nest in the same unit); syncs followed by a call to a unit in
+        # this file are left undecided for the interprocedural pass, so
+        # a callee containing its own sync is rewritten before its body
+        # is summarized and copied into the boundary specialization.
+        for unit in list(self.cu.units):
             targets = frozenset(goto_targets(unit))
             self._overlap_walk(unit, unit.body, [],
                                classifications[unit.name], targets,
                                syncs_by_id, decided)
+        # pass 2: interprocedural splits around call boundaries
+        from repro.analysis.callgraph import build_call_graph
+        self._graph = build_call_graph(self.cu)
+        self._summaries = {}
+        for unit in list(self.cu.units):
+            self._interproc_walk(unit, unit.body, classifications,
+                                 syncs_by_id, decided)
         for sync in self.plan.syncs:
             self.plan.overlap_decisions.append(decided.get(
                 sync.sync_id,
@@ -537,6 +550,9 @@ class Restructurer:
                             sid, False,
                             "consumer loop is pipelined (self-dependent): "
                             "its wavefront needs the ghosts immediately")
+                    elif (isinstance(nxt, A.CallStmt)
+                          and nxt.name in self._unit_names):
+                        pass  # decided by the interprocedural pass
                     else:
                         decided[sid] = OverlapDecision(
                             sid, False, "no loop nest follows the exchange")
@@ -695,12 +711,18 @@ class Restructurer:
         interior = self._nest_copy(
             loop, facts,
             {lvl: ("interior", g, dm, dp) for lvl, g, dm, dp in splits})
-        out: list[A.Stmt] = [begin, interior, finish]
+        return [begin, interior, finish] \
+            + self._boundary_strips(loop, facts, splits)
+
+    def _boundary_strips(self, loop: A.DoLoop, facts,
+                         splits: list[tuple[int, int, int, int]]
+                         ) -> list[A.DoLoop]:
         # Boundary strips peel outermost-first: strip k covers the rim
         # along its own dimension restricted to the interior of every
         # dimension peeled before it, so the strips and the interior
         # tile the clamped iteration box exactly once (no iteration runs
         # twice — reductions stay exact).
+        out: list[A.DoLoop] = []
         for k, (lvl, g, dm, dp) in enumerate(splits):
             base = {lv: ("interior", gg, dmm, dpp)
                     for lv, gg, dmm, dpp in splits[:k]}
@@ -765,6 +787,220 @@ class Restructurer:
                 assert isinstance(nxt, A.DoLoop)
                 cur = nxt
         return new
+
+    # -- interprocedural overlap: splitting around call boundaries ----------------
+    #
+    # Both paper apps keep their stencils in subroutines, so a combined
+    # sync is followed by ``call momentum0()`` rather than a nest.  When
+    # the callee summarizes to ``<scalar assignments>; <consumer nest>;
+    # <tail>`` and the nest passes the same safety gate as the intra-unit
+    # split, the call site is rewritten as::
+    #
+    #     call acfd_exchange_begin(k, ...)
+    #     call momentum0_acfd_int()          ! interior strip of nest 1
+    #     call acfd_exchange_finish(k, ...)
+    #     call momentum0_acfd_bnd()          ! boundary strips + tail
+    #
+    # The two specializations are new program units sharing the callee's
+    # declarations (COMMON blocks bind them to the same storage), so the
+    # pyback interpreter and the printed MPI Fortran both pick them up
+    # with no further plumbing.  Anything outside the provable subset —
+    # multi-site callees, recursion, aliased actuals, goto-entangled
+    # bodies, escaping scalars — refuses with a recorded reason and
+    # keeps the blocking exchange.
+
+    def _interproc_walk(self, unit: A.ProgramUnit, body: list[A.Stmt],
+                        classifications: dict, syncs_by_id: dict,
+                        decided: dict) -> None:
+        i = 0
+        while i < len(body):
+            stmt = body[i]
+            if (isinstance(stmt, A.CallStmt)
+                    and stmt.name == "acfd_exchange" and stmt.args
+                    and isinstance(stmt.args[0], A.IntLit)):
+                sid = stmt.args[0].value
+                sync = syncs_by_id.get(sid)
+                nxt = body[i + 1] if i + 1 < len(body) else None
+                if (sync is not None and sid not in decided
+                        and isinstance(nxt, A.CallStmt)
+                        and nxt.name in self._unit_names):
+                    verdict, repl, new_units = self._interproc_overlap(
+                        unit, sync, nxt, classifications)
+                    decided[sid] = verdict
+                    if verdict.enabled:
+                        body[i:i + 2] = repl
+                        self.cu.units.extend(new_units)
+                        i += len(repl)
+                        continue
+            elif isinstance(stmt, (A.DoLoop, A.DoWhile)):
+                self._interproc_walk(unit, stmt.body, classifications,
+                                     syncs_by_id, decided)
+            elif isinstance(stmt, A.IfBlock):
+                for _cond, arm in stmt.arms:
+                    self._interproc_walk(unit, arm, classifications,
+                                         syncs_by_id, decided)
+            i += 1
+
+    def _callee_summary(self, name: str):
+        from repro.analysis.callgraph import summarize_callee
+        summary = self._summaries.get(name)
+        if summary is None:
+            summary = summarize_callee(self._graph, name)
+            self._summaries[name] = summary
+        return summary
+
+    def _interproc_overlap(self, caller: A.ProgramUnit, sync: PlannedSync,
+                           call: A.CallStmt, classifications: dict):
+        from repro.fortran.intrinsics_table import is_intrinsic
+        from repro.interp.vectorize import goto_targets
+        sid = sync.sync_id
+        name = call.name
+
+        def refuse(reason: str):
+            return OverlapDecision(sid, False, reason, callee=name), \
+                None, None
+
+        summary = self._callee_summary(name)
+        if summary.refusal is not None:
+            return refuse(f"in callee {name!r}: {summary.refusal}")
+        if call.label is not None:
+            return refuse("the consumer call carries a statement label")
+        hit = self._aliased_actual(caller, call)
+        if hit is not None:
+            return refuse(f"call to {name!r}: {hit}")
+        callee = summary.unit
+        loop = summary.first_nest
+        cls = classifications.get(name)
+        targets = frozenset(goto_targets(callee))
+        verdict, splits, facts = self._overlap_verdict(
+            callee, cls, targets, sync, loop, [summary.tail])
+        if not verdict.enabled:
+            return refuse(f"in callee {name!r}: {verdict.reason}")
+        table: SymbolTable = callee.symbols  # type: ignore[assignment]
+        # nest-assigned scalars must die inside the callee: a dummy or
+        # COMMON member would carry a different exit value to the caller
+        # once the nest runs as two strip-bounded invocations
+        for nm in sorted((set(facts.temps) | set(facts.nest_vars))
+                         - set(facts.reductions)):
+            sym = table.get(nm)
+            if sym is not None and (sym.is_dummy
+                                    or sym.common_block is not None):
+                return refuse(
+                    f"in callee {name!r}: nest scalar {nm!r} is a dummy "
+                    f"or COMMON member, so its exit value escapes the "
+                    f"split call")
+        # a reduction accumulator must persist from the interior call to
+        # the boundary call: callee-local storage vanishes at return
+        for nm in sorted(facts.reductions):
+            sym = table.get(nm)
+            if sym is None or sym.common_block is None:
+                return refuse(
+                    f"in callee {name!r}: reduction accumulator {nm!r} "
+                    f"is callee-local and cannot carry from the interior "
+                    f"call to the boundary call")
+        # leading scalar assignments re-execute in the boundary
+        # specialization (reduction inits run in the interior one only),
+        # so their values must be reproducible at both call times
+        banned = set(facts.temps) | set(facts.nest_vars) \
+            | set(facts.reductions)
+        for st in summary.leading:
+            tgt = st.target.name
+            for node in A.walk(st.value):
+                if isinstance(node, A.ArrayRef):
+                    return refuse(
+                        f"in callee {name!r}: assignment to {tgt!r} "
+                        f"before the nest reads an array element")
+                if isinstance(node, A.FuncCall) \
+                        and not is_intrinsic(node.name):
+                    return refuse(
+                        f"in callee {name!r}: assignment to {tgt!r} "
+                        f"before the nest calls a function")
+                if isinstance(node, A.Var) and node.name in banned:
+                    return refuse(
+                        f"in callee {name!r}: assignment to {tgt!r} "
+                        f"before the nest reads nest-modified scalar "
+                        f"{node.name!r}")
+        int_name, bnd_name = f"{name}_acfd_int", f"{name}_acfd_bnd"
+        if int_name in self._unit_names or bnd_name in self._unit_names:
+            return refuse(f"specialization names {int_name!r}/"
+                          f"{bnd_name!r} are already taken")
+        repl, units = self._split_call(sync, call, callee, summary,
+                                       facts, splits, int_name, bnd_name)
+        self._unit_names.update((int_name, bnd_name))
+        return OverlapDecision(sid, True, "", callee=name), repl, units
+
+    def _aliased_actual(self, caller: A.ProgramUnit,
+                        call: A.CallStmt) -> str | None:
+        """Refusal reason when an actual argument may alias distributed
+        data (or other actuals), else None.
+
+        Scalar locals pass cleanly; whole status arrays, status-array
+        element reads (their value would be taken before ``finish``
+        refreshes the ghosts), COMMON scalars (two names for one cell)
+        and repeated names all refuse.
+        """
+        table: SymbolTable | None = caller.symbols
+        seen: set[str] = set()
+        for arg in call.args:
+            if isinstance(arg, A.Var):
+                nm = arg.name
+                if nm in seen:
+                    return f"actual argument {nm!r} is passed twice"
+                seen.add(nm)
+                if nm in self.plan.arrays:
+                    return (f"status array {nm!r} is passed as an "
+                            f"actual argument")
+                sym = table.get(nm) if table is not None else None
+                if sym is not None and sym.common_block is not None:
+                    return (f"actual argument {nm!r} lives in COMMON "
+                            f"/{sym.common_block}/ (aliases the "
+                            f"callee's view)")
+                continue
+            for node in A.walk(arg):
+                if isinstance(node, A.ArrayRef) \
+                        and node.name in self.plan.arrays:
+                    return (f"actual argument reads status array "
+                            f"{node.name!r} (evaluated before the "
+                            f"exchange finishes)")
+        return None
+
+    def _split_call(self, sync: PlannedSync, call: A.CallStmt,
+                    callee: A.ProgramUnit, summary, facts,
+                    splits: list[tuple[int, int, int, int]],
+                    int_name: str, bnd_name: str):
+        def args() -> list[A.Expr]:
+            out: list[A.Expr] = [_int(sync.sync_id)]
+            out.extend(A.Var(name) for name, _d in sync.arrays)
+            return out
+
+        loop = summary.first_nest
+        interior = self._nest_copy(
+            loop, facts,
+            {lvl: ("interior", g, dm, dp) for lvl, g, dm, dp in splits})
+        strips = self._boundary_strips(loop, facts, splits)
+        lead_all = [copy.deepcopy(s) for s in summary.leading]
+        lead_rerun = [copy.deepcopy(s) for s in summary.leading
+                      if s.target.name not in facts.reductions]
+        int_unit = self._specialized_unit(
+            callee, int_name, lead_all + [interior])
+        bnd_unit = self._specialized_unit(
+            callee, bnd_name,
+            lead_rerun + list(strips)
+            + [copy.deepcopy(s) for s in summary.tail])
+        repl: list[A.Stmt] = [
+            _call("acfd_exchange_begin", *args()),
+            A.CallStmt(name=int_name, args=copy.deepcopy(call.args)),
+            _call("acfd_exchange_finish", *args()),
+            A.CallStmt(name=bnd_name, args=copy.deepcopy(call.args)),
+        ]
+        return repl, [int_unit, bnd_unit]
+
+    @staticmethod
+    def _specialized_unit(callee: A.ProgramUnit, name: str,
+                          body: list[A.Stmt]) -> A.ProgramUnit:
+        return A.ProgramUnit(kind=callee.kind, name=name,
+                             args=list(callee.args),
+                             decls=copy.deepcopy(callee.decls), body=body)
 
     # -- I/O ------------------------------------------------------------------------
 

@@ -203,6 +203,11 @@ class AutoCFD:
             overlap_refusals=[(d.sync_id, d.reason)
                               for d in plan.overlap_decisions
                               if not d.enabled],
+            overlap_decisions=[{"sync_id": d.sync_id,
+                                "enabled": d.enabled,
+                                "reason": d.reason,
+                                "callee": d.callee}
+                               for d in plan.overlap_decisions],
             phases=[s for s in self.obs.spans() if s.cat == "compile"],
             metrics=self.obs.metrics.snapshot())
         return CompileResult(plan=plan, spmd_cu=spmd, report=report)

@@ -35,6 +35,10 @@ class CompilationReport:
     #: overlap, and the per-sync refusal reasons for the rest
     overlap_syncs: int = 0
     overlap_refusals: list[tuple[int, str]] = field(default_factory=list)
+    #: full per-sync verdict (accepted and refused), as dicts with
+    #: ``sync_id``/``enabled``/``reason``/``callee`` — ``callee`` names
+    #: the subroutine when the verdict crossed a call boundary
+    overlap_decisions: list[dict] = field(default_factory=list)
     #: timed pre-compiler phases (``cat == "compile"`` spans, in order)
     phases: list[Span] = field(default_factory=list)
     #: phase-counter snapshot (loops scanned, syncs before/after, ...)
@@ -94,6 +98,7 @@ class CompilationReport:
             "overlap_refusals": [
                 {"sync_id": sid, "reason": reason}
                 for sid, reason in self.overlap_refusals],
+            "overlap_decisions": [dict(d) for d in self.overlap_decisions],
             "phases": [{"name": s.name, "dur_s": s.dur, "args": s.args}
                        for s in self.phases],
             "metrics": self.metrics,

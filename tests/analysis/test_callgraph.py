@@ -1,7 +1,10 @@
 """Call-graph utilities for interprocedural analysis."""
 
+import pytest
+
 from repro.analysis.callgraph import (
     build_call_graph,
+    summarize_callee,
     unit_has_rtype_loop,
 )
 from repro.analysis.field_loops import classify_unit
@@ -97,3 +100,53 @@ class TestRTypePredicate:
     def test_any_array_mode(self):
         _, graph, cls = setup()
         assert unit_has_rtype_loop(cls["p"], graph, cls, None)
+
+
+class TestCallSitesErrors:
+    def test_unknown_caller_raises_with_unit_name(self):
+        _, graph, _ = setup()
+        with pytest.raises(ValueError, match="'nosuch'"):
+            graph.call_sites("nosuch")
+
+    def test_site_count_spans_all_callers(self):
+        _, graph, _ = setup()
+        assert graph.site_count("top") == 1
+        assert graph.site_count("reader") == 1
+        assert graph.site_count("nosuch") == 0
+
+
+class TestCalleeSummary:
+    def test_summary_of_straight_line_callee(self):
+        cu, graph, _ = setup()
+        s = summarize_callee(graph, "reader")
+        assert s.refusal is None
+        assert s.unit is cu.unit("reader")
+        assert s.leading == []
+        assert s.first_nest is not None
+        assert s.tail == []
+        assert s.call_sites == 1
+
+    def test_external_routine_refused(self):
+        _, graph, _ = setup()
+        s = summarize_callee(graph, "mpi_barrier")
+        assert "external routine" in s.refusal
+
+    def test_recursive_callee_refused(self):
+        cu = parse_source(
+            "program p\ncall a()\nend\nsubroutine a()\ncall b()\nend\n"
+            "subroutine b()\ncall a()\nend\n")
+        s = summarize_callee(build_call_graph(cu), "a")
+        assert "recursive" in s.refusal
+
+    def test_multi_site_callee_refused(self):
+        cu = parse_source(
+            "program p\ncall a()\ncall a()\nend\n"
+            "subroutine a()\ninteger i\ndo i = 1, 4\nx = i\nend do\nend\n")
+        s = summarize_callee(build_call_graph(cu), "a")
+        assert "2 static call sites" in s.refusal
+
+    def test_no_nest_refused(self):
+        cu = parse_source(
+            "program p\ncall a()\nend\nsubroutine a()\nx = 1.0\nend\n")
+        s = summarize_callee(build_call_graph(cu), "a")
+        assert "no top-level loop nest" in s.refusal

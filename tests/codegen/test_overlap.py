@@ -185,3 +185,81 @@ class TestMpiFortranArtifact:
         text = result.mpi_source()
         assert "mpi_isend" not in text
         assert "mpi_waitall" not in text
+
+
+class TestInterprocedural:
+    """Split around a call: begin / callee_int / finish / callee_bnd."""
+
+    def test_call_site_splits_into_specialized_invocations(self):
+        plan, text = compiled(kernels.jacobi_5pt_sub(n=12, m=8, iters=6),
+                              (2, 2))
+        d = decision(plan, 1)
+        assert d.enabled and d.callee == "relaxx"
+        at = [text.index(s) for s in (
+            "call acfd_exchange_begin(1, v)",
+            "call relaxx_acfd_int()",
+            "call acfd_exchange_finish(1, v)",
+            "call relaxx_acfd_bnd()")]
+        assert at == sorted(at)
+        assert "subroutine relaxx_acfd_int" in text
+        assert "subroutine relaxx_acfd_bnd" in text
+
+    def test_reduction_init_runs_once_and_allreduce_lands_in_boundary(self):
+        # err = 0.0 must execute only in the interior specialization
+        # (re-running it in _bnd would discard the interior's partial
+        # max); the allreduce finalization must wait for the strips
+        _plan, text = compiled(kernels.jacobi_5pt_sub(n=12, m=8, iters=6),
+                               (2, 2))
+        units = {name: text.split(f"subroutine {name}()", 1)[1]
+                 .split("end subroutine", 1)[0]
+                 for name in ("relaxx_acfd_int", "relaxx_acfd_bnd")}
+        assert "err = 0.0" in units["relaxx_acfd_int"]
+        assert "err = 0.0" not in units["relaxx_acfd_bnd"]
+        assert "acfd_allreduce_max" not in units["relaxx_acfd_int"]
+        assert units["relaxx_acfd_bnd"].rstrip() \
+            .endswith("err = acfd_allreduce_max(err)")
+
+    def test_multi_site_callee_refused(self):
+        src = kernels.jacobi_5pt_sub(n=12, m=8, iters=6).replace(
+            "    call relaxx()\n    call relaxy()",
+            "    call relaxx()\n    call relaxx()\n    call relaxy()")
+        plan, text = compiled(src, (2, 2))
+        d = decision(plan, 1)
+        assert not d.enabled and d.callee == "relaxx"
+        assert "2 static call sites" in d.reason
+        assert "relaxx_acfd_int" not in text
+
+    def test_status_array_actual_argument_refused(self):
+        # passing a halo array by argument aliases it under a second
+        # name inside the callee — the footprint summary can't see
+        # through that, so the split must refuse
+        src = kernels.jacobi_5pt_sub(n=12, m=8, iters=6)
+        src = src.replace("    call relaxx()", "    call relaxx(v)")
+        src = src.replace(
+            "subroutine relaxx()\n  implicit none\n"
+            "  integer n, m, i, j\n  parameter (n = 12, m = 8)",
+            "subroutine relaxx(w)\n  implicit none\n"
+            "  integer n, m, i, j\n  parameter (n = 12, m = 8)\n"
+            "  real w(n, m)")
+        plan, text = compiled(src, (2, 2))
+        d = decision(plan, 1)
+        assert not d.enabled
+        assert "status array 'v' is passed" in d.reason
+        assert "acfd_exchange_begin" not in text
+
+    def test_report_carries_callee_in_decisions(self):
+        acfd = AutoCFD.from_source(kernels.jacobi_5pt_sub(n=12, m=8,
+                                                          iters=6))
+        report = acfd.compile(partition=(2, 2)).report
+        decisions = report.to_dict()["overlap_decisions"]
+        hit = next(d for d in decisions if d["enabled"])
+        assert hit["callee"] == "relaxx"
+
+    def test_mpi_artifact_notes_the_interprocedural_split(self):
+        acfd = AutoCFD.from_source(kernels.jacobi_5pt_sub(n=12, m=8,
+                                                          iters=6))
+        text = acfd.compile(partition=(2, 2)).mpi_source()
+        assert ("c  interprocedural split: interior runs as "
+                "relaxx_acfd_int, boundary as relaxx_acfd_bnd") in text
+        assert "subroutine relaxx_acfd_int" in text
+        assert "subroutine relaxx_acfd_bnd" in text

@@ -3,9 +3,10 @@
 Fault recovery must compose with communication/computation overlap: a
 frame restored from checkpoint re-posts its Isend/Irecv faces and the
 split interior/boundary nests must still reproduce the fault-free grids
-bitwise.  The built-in chaos apps keep their stencils behind ``call``
-boundaries (the intra-unit overlap pass refuses those), so these tests
-drive an inline Jacobi deck where the exchange really goes nonblocking.
+bitwise.  The inline Jacobi deck exercises the intra-unit split; the
+sprayer app — whose stencils live behind ``call`` boundaries — exercises
+the interprocedural split through the specialized ``*_acfd_int`` /
+``*_acfd_bnd`` invocations.
 """
 
 import pytest
@@ -64,3 +65,22 @@ def test_overlap_and_blocking_chaos_agree(tmp_path):
     for name in ("v", "vnew"):
         assert res_over.array(name).data.tobytes() \
             == res_block.array(name).data.tobytes()
+
+
+def test_sprayer_overlaps_across_calls_under_chaos(tmp_path):
+    # the paper's app: every stencil sits in a subroutine, so overlap
+    # only fires through the interprocedural split — faults must
+    # recover bitwise through the specialized invocations too
+    from repro.faults.chaos import _chaos_app
+    src, _inp, _frames = _chaos_app("sprayer", full=False)
+    plan = AutoCFD.from_source(src).compile(partition=(2, 2),
+                                            overlap="on").plan
+    assert any(d.enabled and d.callee for d in plan.overlap_decisions), \
+        "sprayer chaos deck no longer takes the interprocedural path"
+    report = run_chaos(app="sprayer", partition=(2, 2), seed=7,
+                       scenarios=("drop", "crash"), overlap="on",
+                       workdir=str(tmp_path))
+    assert report.ok, report.table()
+    for s in report.scenarios:
+        assert s.identical is True
+        assert s.fired, f"{s.name}: planned fault never triggered"
